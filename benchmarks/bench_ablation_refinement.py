@@ -1,0 +1,54 @@
+"""Ablation — Lend-Giveback model refinement (Section IV-C2, Algorithm 1).
+
+The paper motivates the refinement by the model's unreliability near the
+WIP boundary (w_j ~ 0), where arrival randomness dominates and the raw
+network's output would mislead the policy.
+
+This bench trains the MSD environment model, splits a held-out trace into
+boundary transitions (some dimension below tau) and interior transitions,
+and reports the one-step RMSE of the raw vs refined model on both sets.
+
+Expected shape (asserted): the refinement leaves interior predictions
+untouched (identical RMSE) and does not catastrophically degrade boundary
+predictions (within 2x of raw — its benefit in the paper is to *policy
+learning*, not raw RMSE, by removing the spurious w-m correlation at the
+boundary).
+"""
+
+import math
+
+from benchmarks.conftest import emit, run_once
+from repro.eval.experiments import ablation_refinement
+from repro.eval.reporting import format_table
+
+
+def test_refinement_boundary_behaviour(benchmark):
+    out = run_once(
+        benchmark,
+        ablation_refinement,
+        "msd",
+        collect_steps=1200,
+        test_steps=300,
+        seed=0,
+    )
+
+    emit()
+    emit(format_table(
+        ["region", "samples", "raw RMSE", "refined RMSE"],
+        [
+            ["boundary (some w_j < tau)", out["boundary_samples"],
+             out["boundary_rmse_raw"], out["boundary_rmse_refined"]],
+            ["interior", out["interior_samples"],
+             out["interior_rmse_raw"], out["interior_rmse_refined"]],
+        ],
+        title="Lend-Giveback refinement (Algorithm 1) on held-out MSD data",
+    ))
+
+    assert out["boundary_samples"] > 0, "no boundary transitions sampled"
+    # Interior predictions pass through the raw model untouched.
+    assert math.isclose(
+        out["interior_rmse_raw"], out["interior_rmse_refined"],
+        rel_tol=1e-9, abs_tol=1e-9,
+    )
+    # Boundary predictions stay sane.
+    assert out["boundary_rmse_refined"] <= 2.0 * out["boundary_rmse_raw"]

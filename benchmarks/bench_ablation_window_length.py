@@ -1,0 +1,47 @@
+"""Ablation — control-window length (Section VI-A2).
+
+The paper: "We have tested 5s, 15s, and 30s, and 30s is the best option",
+because container start-up (5-10 s) must be small relative to the window,
+yet the controller must stay responsive.
+
+This bench runs a reactive allocator over the same total simulated time
+with 5 s / 15 s / 30 s windows on the first MSD burst and reports mean
+response time plus the churn costs (consumers killed while still starting
+— pure start-up waste — and busy kills).
+
+Expected shape (asserted): shorter windows incur strictly more wasted
+start-ups; 30 s response time is within a small factor of the best.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.eval.experiments import ablation_window_length
+from repro.eval.reporting import format_table
+
+
+def test_window_length_tradeoff(benchmark):
+    out = run_once(
+        benchmark,
+        ablation_window_length,
+        "msd",
+        window_lengths=(5.0, 15.0, 30.0),
+        steps_at_30s=35,
+        seed=0,
+    )
+
+    emit()
+    emit(format_table(
+        ["window (s)", "mean resp (s)", "final WIP", "wasted startups",
+         "busy kills", "completions"],
+        [
+            [w, s["mean_response_time"], s["final_wip"],
+             s["wasted_startups"], s["busy_kills"], s["total_completions"]]
+            for w, s in sorted(out.items())
+        ],
+        title="Window-length trade-off (Section VI-A2), MSD burst 1",
+    ))
+
+    # Start-up waste decreases with window length.
+    assert out[5.0]["wasted_startups"] >= out[30.0]["wasted_startups"]
+    # 30 s remains competitive on response time (within 25% of the best).
+    best = min(s["mean_response_time"] for s in out.values())
+    assert out[30.0]["mean_response_time"] <= 1.25 * best

@@ -1,0 +1,91 @@
+"""Fig. 7 — MSD: MIRAS vs DRS("stream")/HEFT/MONAD/model-free DDPG("rl").
+
+Paper protocol (Section VI-D): train MIRAS via Algorithm 2; train
+model-free DDPG with the same number of real interactions; identify MONAD
+on the same dataset; then feed each of the three MSD bursts
+(300/200/300, 1000/300/400, 500/500/500) into a freshly drained system
+with continuous Poisson background traffic and record per-window response
+times while each algorithm controls the allocation (C=14).
+
+Expected shape (asserted): MIRAS's aggregated reward beats HEFT, MONAD and
+model-free DDPG on every burst and is at least competitive with DRS
+(within 10%); model-free DDPG, at equal interaction budget, is the worst
+or near-worst learner — the paper's sample-efficiency headline.
+
+Paper scale: 12 x 1,000 interactions; bench scale: 8 x 600.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, is_paper_scale, run_once
+from repro.core.config import MirasConfig, ModelConfig, PolicyConfig
+from repro.eval.experiments import experiment_fig7_msd_comparison
+from repro.eval.reporting import format_comparison, format_series_table
+from repro.rl.ddpg import DDPGConfig
+from repro.workload.bursts import MSD_BURSTS
+
+
+def _config():
+    if is_paper_scale():
+        return MirasConfig.msd_paper()
+    return MirasConfig(
+        model=ModelConfig(hidden_sizes=(20, 20, 20), epochs=40),
+        policy=PolicyConfig(
+            ddpg=DDPGConfig(
+                hidden_sizes=(256, 256),
+                batch_size=64,
+                gamma=0.99,
+                entropy_weight=0.005,
+                actor_weight_decay=1e-4,
+            ),
+            rollout_length=25,
+            rollouts_per_iteration=40,
+            patience=8,
+            updates_per_step=2,
+        ),
+        steps_per_iteration=600,
+        reset_interval=25,
+        iterations=8,
+        eval_steps=25,
+        eval_burst_scale=20.0,
+    )
+
+
+def test_fig7_msd_burst_comparison(benchmark):
+    results = run_once(
+        benchmark,
+        experiment_fig7_msd_comparison,
+        steps=35,
+        config=_config(),
+        seed=3,
+    )
+
+    emit()
+    emit(format_comparison(results, "aggregated_reward",
+                            title="Fig. 7 (MSD): aggregated reward per burst"))
+    emit()
+    emit(format_comparison(results, "mean_response_time",
+                            title="Fig. 7 (MSD): mean response time (s)"))
+    emit()
+    emit(format_comparison(results, "total_completions",
+                            title="Fig. 7 (MSD): workflows completed"))
+    for scenario in results:
+        emit()
+        emit(format_series_table(
+            {name: r.response_time_series()
+             for name, r in results[scenario].items()},
+            title=f"Per-window response time (s) — {scenario}",
+        ))
+
+    for scenario, by_allocator in results.items():
+        rewards = {
+            name: r.aggregated_reward() for name, r in by_allocator.items()
+        }
+        miras = rewards["miras"]
+        # MIRAS beats every baseline except possibly DRS (where it must be
+        # within 10% — our emulated substrate is near-Jackson, DRS's home
+        # turf; the paper's shape is "better than or at least as good as").
+        assert miras > rewards["heft"], (scenario, rewards)
+        assert miras > rewards["monad"], (scenario, rewards)
+        assert miras > rewards["rl"], (scenario, rewards)
+        assert miras > 1.10 * rewards["stream"], (scenario, rewards)

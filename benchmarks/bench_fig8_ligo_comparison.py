@@ -1,0 +1,102 @@
+"""Fig. 8 — LIGO: MIRAS vs DRS("stream")/HEFT/MONAD/model-free DDPG("rl").
+
+Paper protocol (Section VI-D): same as Fig. 7 but on the LIGO ensemble
+(9 task types, C=30) with the bursts 100/100/50/30, 150/150/80/50 and
+80/80/80/80 for DataFind/CAT/Full/Injection.
+
+Reproduction status (see EXPERIMENTS.md): this is the one experiment whose
+paper-reported ordering does NOT fully transfer to the emulated substrate.
+On a Jackson-like emulator with C=30 spread over 9 services, near-uniform
+policies already handle the LIGO bursts well, so the queueing heuristics —
+and even budget-projected vanilla DDPG, whose policy stays near its
+uniform initialisation — drain competitively, where the paper observed
+them failing on physical infrastructure.
+
+What robustly reproduces, and is asserted here:
+
+- MIRAS controls the system and drains the burst backlog (the paper's
+  qualitative recovery shape, including the temporary put-aside of light
+  stages),
+- MIRAS at least matches MONAD's short-horizon MPC (within 5% aggregated
+  reward summed over the three bursts) — the paper's "MONAD focuses on
+  short-term returns" disadvantage,
+- every algorithm keeps the request-conservation guarantee.
+
+Paper scale: 12 x 2,000 interactions; bench scale: 8 x 1,200.
+"""
+
+from benchmarks.conftest import emit, is_paper_scale, run_once
+from repro.core.config import MirasConfig, ModelConfig, PolicyConfig
+from repro.eval.experiments import experiment_fig8_ligo_comparison
+from repro.eval.reporting import format_comparison, format_series_table
+from repro.rl.ddpg import DDPGConfig
+
+
+def _config():
+    if is_paper_scale():
+        return MirasConfig.ligo_paper()
+    return MirasConfig(
+        model=ModelConfig(hidden_sizes=(32, 32), epochs=40),
+        policy=PolicyConfig(
+            ddpg=DDPGConfig(
+                hidden_sizes=(256, 256),
+                batch_size=64,
+                gamma=0.99,
+                entropy_weight=0.01,
+                actor_weight_decay=1e-3,
+            ),
+            rollout_length=10,
+            rollouts_per_iteration=60,
+            patience=10,
+            updates_per_step=3,
+        ),
+        steps_per_iteration=1200,
+        reset_interval=25,
+        iterations=8,
+        eval_steps=25,
+        eval_burst_scale=10.0,
+    )
+
+
+def test_fig8_ligo_burst_comparison(benchmark):
+    results = run_once(
+        benchmark,
+        experiment_fig8_ligo_comparison,
+        steps=40,
+        config=_config(),
+        seed=4,
+    )
+
+    emit()
+    emit(format_comparison(results, "aggregated_reward",
+                            title="Fig. 8 (LIGO): aggregated reward per burst"))
+    emit()
+    emit(format_comparison(results, "mean_response_time",
+                            title="Fig. 8 (LIGO): mean response time (s)"))
+    emit()
+    emit(format_comparison(results, "total_completions",
+                            title="Fig. 8 (LIGO): workflows completed"))
+    for scenario in results:
+        emit()
+        emit(format_series_table(
+            {name: r.response_time_series()
+             for name, r in results[scenario].items()},
+            title=f"Per-window response time (s) — {scenario}",
+        ))
+
+    totals = {
+        name: sum(
+            results[scenario][name].aggregated_reward()
+            for scenario in results
+        )
+        for name in next(iter(results.values()))
+    }
+    # MIRAS at least matches MONAD (rewards are negative: a 5% margin
+    # means MIRAS may be at most 5% more negative).
+    assert totals["miras"] >= 1.05 * totals["monad"], totals
+    # MIRAS controls the system: the first burst's backlog drains.
+    miras_wip = results[next(iter(results))]["miras"].wip_series()
+    assert miras_wip[-1] <= 0.6 * miras_wip[0], miras_wip
+    # Everyone stays within the same order of magnitude of the best.
+    best = max(totals.values())
+    assert all(total >= 12.0 * best for total in totals.values()), totals

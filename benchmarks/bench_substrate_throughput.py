@@ -1,0 +1,62 @@
+"""Substrate micro-benchmarks: raw simulator and learning-stack throughput.
+
+Not a paper figure — these are conventional performance benchmarks so
+regressions in the discrete-event engine or the numpy NN stack are caught.
+They use pytest-benchmark's statistics properly (multiple rounds).
+"""
+
+import numpy as np
+
+from repro.core.dataset import TransitionDataset
+from repro.core.environment_model import EnvironmentModel
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
+from repro.utils.rng import RngStream
+from repro.workflows import build_msd_ensemble
+from repro.workload import PoissonArrivalProcess
+from repro.workload.bursts import MSD_BACKGROUND_RATES
+
+
+def test_simulator_window_throughput(benchmark):
+    """Windows/second of the loaded MSD system under uniform allocation."""
+    system = MicroserviceWorkflowSystem(
+        build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=0
+    )
+    PoissonArrivalProcess(MSD_BACKGROUND_RATES).attach(system)
+    system.inject_burst({"Type1": 200, "Type2": 100, "Type3": 100})
+    system.apply_allocation([4, 4, 3, 3])
+
+    benchmark(system.run_window)
+    assert system.conservation_ok()
+
+
+def test_environment_model_training_step(benchmark):
+    """One epoch of environment-model training on 1,000 transitions."""
+    rng = RngStream("bench", np.random.SeedSequence(0))
+    dataset = TransitionDataset(4, 4)
+    data_rng = np.random.default_rng(0)
+    for _ in range(1000):
+        dataset.add(
+            data_rng.uniform(0, 100, 4),
+            data_rng.uniform(0, 4, 4),
+            data_rng.uniform(0, 100, 4),
+        )
+    model = EnvironmentModel(4, 4, hidden_sizes=(20, 20, 20), rng=rng)
+
+    benchmark(model.fit, dataset, epochs=1)
+
+
+def test_ddpg_update_step(benchmark):
+    """One DDPG update (critic + actor + target sync) at paper-size nets."""
+    agent = DDPGAgent(
+        4,
+        4,
+        config=DDPGConfig(hidden_sizes=(256, 256, 256), batch_size=64),
+        rng=RngStream("bench", np.random.SeedSequence(1)),
+    )
+    data_rng = np.random.default_rng(2)
+    for _ in range(256):
+        state = data_rng.uniform(0, 100, 4)
+        agent.store(state, np.full(4, 0.25), -float(state.sum()), state)
+
+    benchmark(agent.update)

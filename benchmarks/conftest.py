@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark/reproduction harness.
+
+Every bench regenerates one of the paper's figures (Figs. 5-8) or one of
+its stated design trade-offs, using the exact code path of the paper-scale
+experiment at a scaled-down step count (see DESIGN.md section 3).  Set
+``REPRO_BENCH_SCALE=paper`` to run the full schedules instead (hours).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: "fast" (default) or "paper".
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "fast")
+
+#: Where every bench's regenerated tables/series are appended (pytest
+#: captures stdout of passing tests, so the file is the durable record).
+RESULTS_FILE = Path(__file__).parent / "results" / "latest.txt"
+
+
+def emit(text: str = "") -> None:
+    """Print a reproduction table and append it to the results file."""
+    print(text)
+    RESULTS_FILE.parent.mkdir(exist_ok=True)
+    with RESULTS_FILE.open("a") as handle:
+        handle.write(text + "\n")
+
+
+def is_paper_scale() -> bool:
+    return SCALE == "paper"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

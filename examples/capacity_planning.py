@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Capacity planning: derive the paper's consumer budgets analytically.
+
+Section VI-A4 explains how a "good constraint" C was chosen: resources
+should be sufficient for a feasible allocation to exist, but tight enough
+that allocation quality matters.  This example derives that regime with
+Jackson-network arithmetic (repro.eval.capacity) and verifies the
+prediction against the simulator.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.baselines import DrsAllocator
+from repro.eval.capacity import (
+    expected_steady_state_wip,
+    minimum_stable_allocation,
+    per_task_arrival_rates,
+    recommended_budget,
+)
+from repro.eval.runner import evaluate_allocator, make_env
+from repro.sim.system import SystemConfig
+from repro.workflows import build_ligo_ensemble, build_msd_ensemble, render_ensemble
+from repro.workload.bursts import (
+    BurstScenario,
+    LIGO_BACKGROUND_RATES,
+    MSD_BACKGROUND_RATES,
+)
+
+
+def plan(name, ensemble, rates, paper_budget):
+    print(f"=== {name} ===")
+    task_rates = per_task_arrival_rates(ensemble, rates)
+    minimum = minimum_stable_allocation(ensemble, rates)
+    print("per-microservice arrival rates and minimum stable consumers:")
+    for task_type in ensemble.task_types:
+        task = task_type.name
+        print(
+            f"  {task:12s} lambda={task_rates[task]:.3f}/s "
+            f"service={task_type.mean_service_time:g}s "
+            f"-> m_min={minimum[task]}"
+        )
+    total_min = sum(minimum.values())
+    recommendation = recommended_budget(ensemble, rates, headroom=1.5)
+    print(f"minimum stable total: {total_min};   1.5x headroom "
+          f"recommendation: {recommendation};   paper's C: {paper_budget}")
+
+    predicted = expected_steady_state_wip(ensemble, rates, minimum)
+    print(f"Jackson prediction of steady-state WIP at m_min: "
+          f"{ {k: round(v, 1) for k, v in predicted.items()} }")
+    print()
+    return minimum
+
+
+def verify_msd(minimum):
+    """Check the analytic plan holds up in the discrete-event simulator."""
+    ensemble = build_msd_ensemble()
+    env = make_env(
+        ensemble,
+        config=SystemConfig(consumer_budget=14),
+        seed=3,
+        background_rates=MSD_BACKGROUND_RATES,
+    )
+    allocation = np.array(
+        [minimum[name] for name in ensemble.task_names()], dtype=np.int64
+    )
+    env.reset()
+    wip_sums = []
+    for _ in range(40):
+        state, _, _ = env.step(allocation)
+        wip_sums.append(float(state.sum()))
+    tail = np.mean(wip_sums[20:])
+    print(f"simulated steady-state total WIP at m_min (MSD): {tail:.1f} "
+          f"(bounded => stable, matching the queueing prediction)")
+    assert tail < 200, "minimum stable allocation diverged in simulation"
+
+
+def main():
+    plan("MSD", build_msd_ensemble(), MSD_BACKGROUND_RATES, 14)
+    plan("LIGO", build_ligo_ensemble(), LIGO_BACKGROUND_RATES, 30)
+    minimum = minimum_stable_allocation(
+        build_msd_ensemble(), MSD_BACKGROUND_RATES
+    )
+    verify_msd(minimum)
+
+
+if __name__ == "__main__":
+    main()

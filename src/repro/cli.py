@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+::
+
+    python -m repro train --dataset msd --output runs/msd-agent
+    python -m repro evaluate --agent runs/msd-agent --dataset msd --burst 0
+    python -m repro simulate --dataset msd --allocator heft --burst 0
+    python -m repro model-accuracy --dataset ligo
+
+``train`` runs Algorithm 2; ``evaluate`` deploys a saved agent on a paper
+burst scenario; ``simulate`` runs a heuristic allocator (no learning);
+``model-accuracy`` reproduces the Fig. 5 protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIRAS reproduction (ICDCS 2019) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a MIRAS agent (Algorithm 2)")
+    _add_dataset(train)
+    train.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--iterations", type=int, default=None,
+                       help="override the preset's iteration count")
+    train.add_argument("--output", default=None,
+                       help="directory to save the trained agent to")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="deploy a saved agent on a burst scenario"
+    )
+    _add_dataset(evaluate)
+    evaluate.add_argument("--agent", required=True,
+                          help="directory written by `repro train --output`")
+    evaluate.add_argument("--burst", type=int, default=0,
+                          help="burst scenario index (0-2)")
+    evaluate.add_argument("--steps", type=int, default=30)
+    evaluate.add_argument("--seed", type=int, default=1000)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a heuristic allocator on a burst (no learning)"
+    )
+    _add_dataset(simulate)
+    simulate.add_argument(
+        "--allocator",
+        choices=("uniform", "wip", "stream", "heft", "hpa", "oracle"),
+        default="uniform",
+    )
+    simulate.add_argument("--burst", type=int, default=0)
+    simulate.add_argument("--steps", type=int, default=30)
+    simulate.add_argument("--seed", type=int, default=1000)
+
+    accuracy = sub.add_parser(
+        "model-accuracy", help="Fig. 5 model-accuracy protocol"
+    )
+    _add_dataset(accuracy)
+    accuracy.add_argument("--collect-steps", type=int, default=1200)
+    accuracy.add_argument("--test-steps", type=int, default=100)
+    accuracy.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _add_dataset(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("msd", "ligo"), default="msd")
+
+
+def _cmd_train(args) -> int:
+    from repro.core.agent import MirasAgent
+    from repro.core.persistence import save_agent
+    from repro.eval.experiments import dataset_preset, make_env
+    from repro.sim.system import SystemConfig
+
+    preset = dataset_preset(args.dataset)
+    config = (
+        preset["paper_config"]() if args.scale == "paper"
+        else preset["fast_config"]()
+    )
+    env = make_env(
+        preset["builder"](),
+        config=SystemConfig(consumer_budget=preset["budget"]),
+        seed=args.seed,
+        background_rates=preset["rates"],
+    )
+    agent = MirasAgent(env, config, seed=args.seed)
+    agent.iterate(iterations=args.iterations, verbose=True)
+    print(f"training trace: "
+          f"{[round(r.eval_reward, 1) for r in agent.results]}")
+    if args.output:
+        path = save_agent(args.output, agent)
+        print(f"agent saved to {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.baselines.miras_alloc import MirasAllocator
+    from repro.core.persistence import load_agent
+    from repro.eval.experiments import dataset_preset
+    from repro.eval.runner import evaluate_allocator, make_env
+    from repro.sim.system import SystemConfig
+
+    preset = dataset_preset(args.dataset)
+    scenario = _scenario(preset, args.burst)
+    env = make_env(
+        preset["builder"](),
+        config=SystemConfig(consumer_budget=preset["budget"]),
+        seed=args.seed,
+        background_rates=dict(scenario.background_rates),
+    )
+    agent = load_agent(args.agent, env)
+    result = evaluate_allocator(
+        MirasAllocator(agent=agent), env, scenario, args.steps
+    )
+    _print_result(result)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.baselines.autoscaler import HpaAllocator
+    from repro.baselines.drs import DrsAllocator
+    from repro.baselines.heft import HeftAllocator
+    from repro.baselines.oracle import OracleAllocator
+    from repro.baselines.static_alloc import (
+        ProportionalToWipAllocator,
+        UniformAllocator,
+    )
+    from repro.eval.experiments import dataset_preset
+    from repro.eval.runner import evaluate_allocator, make_env
+    from repro.sim.system import SystemConfig
+
+    allocators = {
+        "uniform": UniformAllocator,
+        "wip": ProportionalToWipAllocator,
+        "stream": DrsAllocator,
+        "heft": HeftAllocator,
+        "hpa": HpaAllocator,
+        "oracle": OracleAllocator,
+    }
+    preset = dataset_preset(args.dataset)
+    scenario = _scenario(preset, args.burst)
+    env = make_env(
+        preset["builder"](),
+        config=SystemConfig(consumer_budget=preset["budget"]),
+        seed=args.seed,
+        background_rates=dict(scenario.background_rates),
+    )
+    result = evaluate_allocator(
+        allocators[args.allocator](), env, scenario, args.steps
+    )
+    _print_result(result)
+    return 0
+
+
+def _cmd_model_accuracy(args) -> int:
+    from repro.eval.experiments import experiment_fig5_model_accuracy
+    from repro.eval.reporting import format_table
+
+    result = experiment_fig5_model_accuracy(
+        args.dataset,
+        collect_steps=args.collect_steps,
+        test_steps=args.test_steps,
+        seed=args.seed,
+    )
+    print(format_table(
+        ["signal", "rmse fixed", "rmse iterative", "corr fixed",
+         "corr iterative"],
+        [
+            ["reward (mean WIP)", result.rmse_fixed_reward,
+             result.rmse_iterative_reward,
+             result.correlation_fixed_reward(),
+             result.correlation_iterative_reward()],
+            ["WIP dim 0", result.rmse_fixed_w0,
+             result.rmse_iterative_w0, "-", "-"],
+        ],
+        title=f"Model accuracy ({args.dataset}), Fig. 5 protocol",
+    ))
+    return 0
+
+
+def _scenario(preset, index):
+    bursts = preset["bursts"]
+    if not 0 <= index < len(bursts):
+        raise SystemExit(
+            f"burst index {index} out of range (0-{len(bursts) - 1})"
+        )
+    return bursts[index]
+
+
+def _print_result(result) -> None:
+    from repro.eval.reporting import format_series_table
+
+    print(format_series_table(
+        {
+            "WIP": result.wip_series(),
+            "reward": result.reward_series(),
+            "resp time (s)": result.response_time_series(),
+        },
+        title=f"{result.allocator} on {result.scenario}",
+    ))
+    print(
+        f"\naggregated reward: {result.aggregated_reward():.0f}   "
+        f"mean response time: {result.mean_response_time():.1f} s   "
+        f"completions: {result.total_completions()}"
+    )
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "simulate": _cmd_simulate,
+    "model-accuracy": _cmd_model_accuracy,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

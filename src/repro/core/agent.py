@@ -1,0 +1,356 @@
+"""The MIRAS agent: iterative model-based RL (Algorithm 2).
+
+    Initialize mu_Theta, f_Phi, and D
+    repeat
+        Collect interactions with real environment using mu_Theta, add to D
+        Train environment model f_Phi using D
+        repeat
+            Collect synthetic samples from refined f_Phi
+            Update policy mu_Theta using parameter-noise DDPG
+        until performance of the policy stops improving
+    until the policy performs well in real environment
+
+Action bookkeeping: the actor emits a point on the simplex; the executed
+allocation is ``m = floor(C * a)``.  The dataset D stores the *executed*
+integer allocation (that is what the real dynamics responded to, and what
+the environment model must learn), while the DDPG replay stores ``m / C``
+so critic and actor operate on a consistent simplex-scaled action space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.config import MirasConfig
+from repro.core.dataset import TransitionDataset
+from repro.core.environment_model import EnvironmentModel
+from repro.core.model_env import ModelEnv
+from repro.core.refinement import RefinedModel
+from repro.rl.ddpg import DDPGAgent
+from repro.sim.env import MicroserviceEnv
+from repro.utils.rng import RngStream, spawn_rngs
+
+__all__ = ["MirasAgent", "IterationResult"]
+
+
+@dataclass
+class IterationResult:
+    """Diagnostics for one outer iteration of Algorithm 2."""
+
+    iteration: int
+    dataset_size: int
+    model_loss: float
+    policy_rollouts: int
+    policy_mean_return: float
+    #: Aggregated reward over the real-environment evaluation (Fig. 6's
+    #: vertical axis).
+    eval_reward: float
+    eval_mean_wip: float
+    eval_mean_response_time: float
+
+
+class MirasAgent:
+    """Owns the dataset, the environment model, and the DDPG policy."""
+
+    def __init__(
+        self,
+        env: MicroserviceEnv,
+        config: Optional[MirasConfig] = None,
+        seed: int = 0,
+    ):
+        self.env = env
+        self.config = config or MirasConfig()
+        self._rngs = spawn_rngs(
+            seed, ["collect", "model", "refine", "model-env", "ddpg"]
+        )
+        self.dataset = TransitionDataset(env.state_dim, env.action_dim)
+        self.model = EnvironmentModel(
+            env.state_dim,
+            env.action_dim,
+            hidden_sizes=self.config.model.hidden_sizes,
+            learning_rate=self.config.model.learning_rate,
+            rng=self._rngs["model"],
+        )
+        self.ddpg = DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            config=self.config.policy.ddpg,
+            rng=self._rngs["ddpg"],
+        )
+        self.refined_model: Optional[Union[RefinedModel, EnvironmentModel]] = None
+        self.results: List[IterationResult] = []
+
+    # --- Phase 1: real-environment data collection -----------------------
+    def _simplex_to_executed(self, simplex: np.ndarray) -> np.ndarray:
+        return self.env.allocation_from_simplex(simplex)
+
+    def collect_real_interactions(
+        self, steps: int, random_fraction: float = 0.0
+    ) -> int:
+        """Run the (exploring) policy on the real system; grow D.
+
+        Every ``config.reset_interval`` steps the environment is drained
+        (the paper's reset).  ``random_fraction`` of the steps use uniform
+        Dirichlet actions instead of the policy — iteration 0 has no useful
+        policy yet.  Returns the number of transitions added.
+        """
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        rng = self._rngs["collect"].fork(f"steps-{len(self.dataset)}")
+        state = self.env.reset()
+        state = self._maybe_inject_burst(state, rng)
+        added = 0
+        for step in range(steps):
+            if step > 0 and step % self.config.reset_interval == 0:
+                state = self.env.reset()
+                state = self._maybe_inject_burst(state, rng)
+                self.ddpg.refresh_perturbation()
+            if float(rng.uniform()) < random_fraction:
+                simplex = rng.generator.dirichlet(np.ones(self.env.action_dim))
+            else:
+                simplex = self.ddpg.act(state, explore=True)
+            executed = self._simplex_to_executed(simplex)
+            next_state, reward, _ = self.env.step(executed)
+            self.dataset.add(state, executed.astype(np.float64), next_state)
+            self.ddpg.store(
+                state,
+                executed / self.env.consumer_budget,
+                reward,
+                next_state,
+            )
+            state = next_state
+            added += 1
+        return added
+
+    def _maybe_inject_burst(
+        self, state: np.ndarray, rng: RngStream
+    ) -> np.ndarray:
+        """Occasionally start a collection episode with a request burst.
+
+        Keeps the dataset (and hence the environment model and policy)
+        covering the high-WIP regime that the Section VI-D evaluation
+        bursts will drive the system into.
+        """
+        cfg = self.config
+        if cfg.collect_burst_probability <= 0 or cfg.collect_burst_scale <= 0:
+            return state
+        if float(rng.uniform()) >= cfg.collect_burst_probability:
+            return state
+        total = int(
+            rng.uniform(0.0, cfg.collect_burst_scale * self.env.consumer_budget)
+        )
+        if total == 0:
+            return state
+        names = self.env.system.ensemble.workflow_names()
+        shares = rng.generator.dirichlet(np.ones(len(names)))
+        counts = {
+            name: int(round(total * share))
+            for name, share in zip(names, shares)
+        }
+        self.env.system.inject_burst(counts)
+        return self.env.observe()
+
+    # --- Phase 2: model training --------------------------------------------
+    def train_model(self) -> float:
+        """Fit f̂_Φ on D (Eq. 2) and rebuild the refined model.
+
+        Returns the final-epoch training loss.
+        """
+        history = self.model.fit(
+            self.dataset,
+            epochs=self.config.model.epochs,
+            batch_size=self.config.model.batch_size,
+        )
+        if self.config.model.refinement_enabled:
+            self.refined_model = RefinedModel.from_dataset(
+                self.model,
+                self.dataset,
+                percentile=self.config.model.refinement_percentile,
+                rng=self._rngs["refine"].fork(f"n{len(self.dataset)}"),
+            )
+        else:
+            self.refined_model = self.model
+        return history[-1]
+
+    # --- Phase 3: policy training on the model -----------------------------
+    def build_model_env(self) -> ModelEnv:
+        """A fresh synthetic environment over the current refined model."""
+        if self.refined_model is None:
+            raise RuntimeError("train_model() must run before policy training")
+        return ModelEnv(
+            self.refined_model,
+            self.dataset,
+            consumer_budget=self.env.consumer_budget,
+            rollout_length=self.config.policy.rollout_length,
+            rng=self._rngs["model-env"].fork(f"n{len(self.dataset)}"),
+        )
+
+    def train_policy(self) -> tuple:
+        """Inner loop of Algorithm 2: synthetic rollouts + DDPG updates.
+
+        Stops early once the mean rollout return stops improving for
+        ``policy.patience`` consecutive rollouts.  Returns
+        (rollouts_run, mean_return_of_last_rollouts).
+        """
+        cfg = self.config.policy
+        model_env = self.build_model_env()
+        returns: List[float] = []
+        best_return = -np.inf
+        stale = 0
+        rollouts_run = 0
+        for _ in range(cfg.rollouts_per_iteration):
+            state = model_env.reset()
+            self.ddpg.refresh_perturbation()
+            episode_return = 0.0
+            done = False
+            while not done:
+                simplex = self.ddpg.act(state, explore=True)
+                executed = model_env.allocation_from_simplex(simplex)
+                next_state, reward, done = model_env.step(executed)
+                self.ddpg.store(
+                    state,
+                    executed / self.env.consumer_budget,
+                    reward,
+                    next_state,
+                )
+                if len(self.ddpg.replay) >= self.config.policy.ddpg.batch_size:
+                    self.ddpg.update_many(cfg.updates_per_step)
+                state = next_state
+                episode_return += reward
+            returns.append(episode_return)
+            rollouts_run += 1
+            if episode_return > best_return + 1e-9:
+                best_return = episode_return
+                stale = 0
+            else:
+                stale += 1
+                if stale >= cfg.patience:
+                    break
+        tail = returns[-min(5, len(returns)) :]
+        return rollouts_run, float(np.mean(tail))
+
+    # --- Evaluation on the real environment -----------------------------------
+    def evaluate(self, steps: Optional[int] = None) -> IterationResult:
+        """Run the greedy policy on the real system (Fig. 6 measurement).
+
+        With ``config.eval_burst_scale`` > 0 the evaluation episode starts
+        with a deterministic burst (scale * C requests split evenly over
+        workflow types), so iteration-to-iteration scores are comparable
+        and reflect burst handling, not just steady-state behaviour.
+        """
+        steps = steps or self.config.eval_steps
+        state = self.env.reset()
+        if self.config.eval_burst_scale > 0:
+            names = self.env.system.ensemble.workflow_names()
+            per_type = int(
+                self.config.eval_burst_scale
+                * self.env.consumer_budget
+                / len(names)
+            )
+            if per_type > 0:
+                self.env.system.inject_burst({n: per_type for n in names})
+                state = self.env.observe()
+        total_reward = 0.0
+        wip_sums = []
+        response_times: List[float] = []
+        for _ in range(steps):
+            simplex = self.ddpg.act_greedy(state)
+            executed = self._simplex_to_executed(simplex)
+            state, reward, observation = self.env.step(executed)
+            total_reward += reward
+            wip_sums.append(float(state.sum()))
+            response_times.extend(observation.response_times)
+        return IterationResult(
+            iteration=len(self.results),
+            dataset_size=len(self.dataset),
+            model_loss=float("nan"),
+            policy_rollouts=0,
+            policy_mean_return=float("nan"),
+            eval_reward=total_reward,
+            eval_mean_wip=float(np.mean(wip_sums)),
+            eval_mean_response_time=(
+                float(np.mean(response_times)) if response_times else 0.0
+            ),
+        )
+
+    # --- Algorithm 2 outer loop --------------------------------------------------
+    def iterate(
+        self, iterations: Optional[int] = None, verbose: bool = False
+    ) -> List[IterationResult]:
+        """Run the full iterative procedure; returns per-iteration results.
+
+        With ``config.keep_best_policy`` (default), the actor/critic
+        weights from the iteration with the highest evaluation reward are
+        restored at the end, so a noisy late iteration cannot destroy an
+        already-good policy.
+        """
+        iterations = iterations or self.config.iterations
+        best_reward = max(
+            (r.eval_reward for r in self.results), default=-np.inf
+        )
+        best_snapshot = None
+        for iteration in range(iterations):
+            random_fraction = (
+                self.config.initial_random_fraction if len(self.results) == 0 else 0.0
+            )
+            self.collect_real_interactions(
+                self.config.steps_per_iteration, random_fraction=random_fraction
+            )
+            model_loss = self.train_model()
+            rollouts, mean_return = self.train_policy()
+            result = self.evaluate()
+            result.model_loss = model_loss
+            result.policy_rollouts = rollouts
+            result.policy_mean_return = mean_return
+            self.results.append(result)
+            if result.eval_reward > best_reward:
+                best_reward = result.eval_reward
+                best_snapshot = self._snapshot_policy()
+            if verbose:  # pragma: no cover - console output
+                print(
+                    f"[MIRAS iter {result.iteration}] |D|={result.dataset_size} "
+                    f"model_loss={model_loss:.4f} rollouts={rollouts} "
+                    f"eval_reward={result.eval_reward:.1f}"
+                )
+            if (
+                self.config.target_eval_reward is not None
+                and result.eval_reward >= self.config.target_eval_reward
+            ):
+                break  # "the policy performs well in real environment"
+        if self.config.keep_best_policy and best_snapshot is not None:
+            self._restore_policy(best_snapshot)
+        return self.results
+
+    def _snapshot_policy(self) -> dict:
+        """Copy the actor/critic (and target) weights."""
+        return {
+            "actor": self.ddpg.actor.network.state_dict(),
+            "actor_target": self.ddpg.actor.target_network.state_dict(),
+            "critic": self.ddpg.critic.network.state_dict(),
+            "critic_target": self.ddpg.critic.target_network.state_dict(),
+        }
+
+    def _restore_policy(self, snapshot: dict) -> None:
+        self.ddpg.actor.network.load_state_dict(snapshot["actor"])
+        self.ddpg.actor.target_network.load_state_dict(snapshot["actor_target"])
+        self.ddpg.critic.network.load_state_dict(snapshot["critic"])
+        self.ddpg.critic.target_network.load_state_dict(
+            snapshot["critic_target"]
+        )
+
+    def training_trace(self) -> List[float]:
+        """Aggregated evaluation rewards per iteration (Fig. 6 series)."""
+        return [r.eval_reward for r in self.results]
+
+    def act(self, state: np.ndarray) -> np.ndarray:
+        """Greedy integer allocation for deployment."""
+        return self._simplex_to_executed(self.ddpg.act_greedy(state))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MirasAgent(|D|={len(self.dataset)}, "
+            f"iterations={len(self.results)})"
+        )

@@ -1,0 +1,137 @@
+"""Persist and restore trained MIRAS agents.
+
+A saved agent directory contains:
+
+- ``config.json`` — the full :class:`MirasConfig` (nested dataclasses),
+- ``dataset.npz`` — the interaction dataset D,
+- ``environment_model.npz`` + ``environment_model_norm.npz`` — f̂_Φ,
+- ``actor.npz`` / ``critic.npz`` (+ ``*_target.npz``) — the DDPG networks,
+- ``results.json`` — per-iteration training diagnostics.
+
+Loading reconstructs a fully functional agent bound to a caller-provided
+environment (the environment itself — a live simulation — is not
+serialised; bind to any system with matching dimensions).
+
+Known limitation: optimiser state (Adam moments) and the replay buffer are
+not persisted — a loaded agent's *policy decisions* are bit-identical, and
+continued training works, but resumes with fresh optimiser state and an
+empty replay buffer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.agent import IterationResult, MirasAgent
+from repro.core.config import MirasConfig, ModelConfig, PolicyConfig
+from repro.core.dataset import TransitionDataset
+from repro.core.refinement import RefinedModel
+from repro.nn.serialization import load_mlp, save_mlp
+from repro.rl.ddpg import DDPGConfig
+from repro.sim.env import MicroserviceEnv
+
+__all__ = ["save_agent", "load_agent", "config_to_dict", "config_from_dict"]
+
+
+def config_to_dict(config: MirasConfig) -> dict:
+    """MirasConfig -> plain JSON-serialisable dict."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict) -> MirasConfig:
+    """Inverse of :func:`config_to_dict`."""
+    data = dict(data)
+    model = ModelConfig(**data.pop("model"))
+    policy_data = dict(data.pop("policy"))
+    ddpg = DDPGConfig(**policy_data.pop("ddpg"))
+    policy = PolicyConfig(ddpg=ddpg, **policy_data)
+    return MirasConfig(model=model, policy=policy, **data)
+
+
+def save_agent(directory: Union[str, Path], agent: MirasAgent) -> Path:
+    """Write a trained agent to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    (directory / "config.json").write_text(
+        json.dumps(config_to_dict(agent.config), indent=2, default=list)
+    )
+
+    if len(agent.dataset):
+        states, actions, next_states = agent.dataset.arrays()
+        np.savez(
+            directory / "dataset.npz",
+            states=states,
+            actions=actions,
+            next_states=next_states,
+        )
+
+    save_mlp(directory / "environment_model", agent.model.network)
+    np.savez(directory / "environment_model_norm.npz", **agent.model._norm)
+    save_mlp(directory / "actor", agent.ddpg.actor.network)
+    save_mlp(directory / "actor_target", agent.ddpg.actor.target_network)
+    save_mlp(directory / "critic", agent.ddpg.critic.network)
+    save_mlp(directory / "critic_target", agent.ddpg.critic.target_network)
+
+    (directory / "results.json").write_text(
+        json.dumps([dataclasses.asdict(r) for r in agent.results], indent=2)
+    )
+    return directory
+
+
+def load_agent(
+    directory: Union[str, Path], env: MicroserviceEnv, seed: int = 0
+) -> MirasAgent:
+    """Reconstruct an agent saved by :func:`save_agent`, bound to ``env``."""
+    directory = Path(directory)
+    config = config_from_dict(
+        json.loads((directory / "config.json").read_text())
+    )
+    agent = MirasAgent(env, config, seed=seed)
+
+    dataset_path = directory / "dataset.npz"
+    if dataset_path.exists():
+        with np.load(dataset_path) as archive:
+            states = archive["states"]
+            actions = archive["actions"]
+            next_states = archive["next_states"]
+        if states.shape[1] != env.state_dim:
+            raise ValueError(
+                f"saved agent has state_dim {states.shape[1]}, environment "
+                f"has {env.state_dim}"
+            )
+        for s, a, s2 in zip(states, actions, next_states):
+            agent.dataset.add(s, a, s2)
+
+    agent.model.network = load_mlp(directory / "environment_model.npz")
+    with np.load(directory / "environment_model_norm.npz") as norm:
+        agent.model._norm = {key: norm[key].copy() for key in norm.files}
+    agent.model.trained = True
+    if len(agent.dataset) and config.model.refinement_enabled:
+        agent.refined_model = RefinedModel.from_dataset(
+            agent.model,
+            agent.dataset,
+            percentile=config.model.refinement_percentile,
+        )
+    elif agent.model.trained:
+        agent.refined_model = agent.model
+
+    agent.ddpg.actor.network = load_mlp(directory / "actor.npz")
+    agent.ddpg.actor.target_network = load_mlp(directory / "actor_target.npz")
+    agent.ddpg.critic.network = load_mlp(directory / "critic.npz")
+    agent.ddpg.critic.target_network = load_mlp(
+        directory / "critic_target.npz"
+    )
+
+    results_path = directory / "results.json"
+    if results_path.exists():
+        agent.results = [
+            IterationResult(**entry)
+            for entry in json.loads(results_path.read_text())
+        ]
+    return agent

@@ -1,0 +1,34 @@
+"""Reward functions.
+
+The paper's Eq. (1): ``r(k) = 1 - sum_j w_j(k)`` — "the cumulative
+discounted reward R(k) reflects the total number of finished microservices
+starting from the current time window".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["reward_eq1", "cumulative_discounted_reward"]
+
+
+def reward_eq1(wip: np.ndarray) -> float:
+    """Eq. (1): one minus the aggregate work-in-progress."""
+    wip = np.asarray(wip, dtype=np.float64)
+    if np.any(wip < 0):
+        raise ValueError(f"WIP must be non-negative, got {wip}")
+    return 1.0 - float(wip.sum())
+
+
+def cumulative_discounted_reward(rewards: Sequence[float], gamma: float) -> float:
+    """R(k) = sum_t gamma^(t-k) r(t) over a finite trajectory."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must lie in [0, 1], got {gamma!r}")
+    total = 0.0
+    discount = 1.0
+    for reward in rewards:
+        total += discount * reward
+        discount *= gamma
+    return total

@@ -1,0 +1,97 @@
+"""Queueing-theoretic capacity planning helpers.
+
+Answers the Section VI-A4 question — "it's important to find the correct
+constraints for the microservice systems.  A good constraint means that we
+don't have redundant resources ... and also resources should be sufficient"
+— analytically: given an ensemble and workflow arrival rates, what is the
+minimum stable consumer allocation, and what budget leaves a sensible
+headroom?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.baselines.drs import mmc_expected_number
+from repro.workflows.dag import WorkflowEnsemble
+
+__all__ = [
+    "per_task_arrival_rates",
+    "minimum_stable_allocation",
+    "recommended_budget",
+    "expected_steady_state_wip",
+]
+
+
+def per_task_arrival_rates(
+    ensemble: WorkflowEnsemble, workflow_rates: Mapping[str, float]
+) -> Dict[str, float]:
+    """Long-run request rate into each microservice's queue.
+
+    With AND-join DAG semantics every task of a workflow is visited exactly
+    once per request, so the rate into task j is the sum of the arrival
+    rates of the workflows containing j (Jackson-network flow balance).
+    """
+    rates = {name: 0.0 for name in ensemble.task_names()}
+    for workflow in ensemble.workflow_types:
+        rate = workflow_rates.get(workflow.name, 0.0)
+        if rate < 0:
+            raise ValueError(
+                f"rate for {workflow.name!r} must be >= 0, got {rate!r}"
+            )
+        for task in workflow.tasks:
+            rates[task] += rate
+    return rates
+
+
+def minimum_stable_allocation(
+    ensemble: WorkflowEnsemble, workflow_rates: Mapping[str, float]
+) -> Dict[str, int]:
+    """Fewest consumers per microservice keeping every queue stable
+    (utilisation < 1): ``m_j = floor(lambda_j / mu_j) + 1``."""
+    task_rates = per_task_arrival_rates(ensemble, workflow_rates)
+    allocation = {}
+    for task_type in ensemble.task_types:
+        offered = task_rates[task_type.name] * task_type.mean_service_time
+        allocation[task_type.name] = int(math.floor(offered)) + 1
+    return allocation
+
+
+def recommended_budget(
+    ensemble: WorkflowEnsemble,
+    workflow_rates: Mapping[str, float],
+    headroom: float = 1.5,
+) -> int:
+    """A consumer budget with multiplicative headroom over bare stability.
+
+    ``headroom=1.5`` reproduces the "tight but feasible" regime of the
+    paper's C=14 (MSD) / C=30 (LIGO) choices under the default workloads.
+    """
+    if headroom < 1.0:
+        raise ValueError(f"headroom must be >= 1, got {headroom!r}")
+    minimum = sum(minimum_stable_allocation(ensemble, workflow_rates).values())
+    return int(math.ceil(minimum * headroom))
+
+
+def expected_steady_state_wip(
+    ensemble: WorkflowEnsemble,
+    workflow_rates: Mapping[str, float],
+    allocation: Mapping[str, int],
+) -> Dict[str, float]:
+    """Jackson-network prediction of per-service steady-state WIP (E[N])
+    under a given allocation; ``inf`` for unstable services."""
+    task_rates = per_task_arrival_rates(ensemble, workflow_rates)
+    out = {}
+    for task_type in ensemble.task_types:
+        name = task_type.name
+        servers = int(allocation.get(name, 0))
+        if servers <= 0:
+            out[name] = math.inf if task_rates[name] > 0 else 0.0
+            continue
+        out[name] = mmc_expected_number(
+            task_rates[name], 1.0 / task_type.mean_service_time, servers
+        )
+    return out

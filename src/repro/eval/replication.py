@@ -1,0 +1,93 @@
+"""Multi-seed replication of experiments.
+
+The comparisons of Figs. 7–8 are stochastic (arrivals, service times,
+network initialisation); a single seed can flip close orderings.  This
+harness repeats any experiment across seeds and aggregates each metric
+with mean, standard deviation and win counts — the standard way to report
+such results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.eval.runner import EvalResult
+
+__all__ = ["ReplicatedComparison", "replicate_comparison"]
+
+
+@dataclass
+class ReplicatedComparison:
+    """Aggregated multi-seed results of a scenario comparison.
+
+    ``values[scenario][allocator]`` is the list of per-seed metric values.
+    """
+
+    metric: str
+    values: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def mean(self, scenario: str, allocator: str) -> float:
+        return float(np.mean(self.values[scenario][allocator]))
+
+    def std(self, scenario: str, allocator: str) -> float:
+        return float(np.std(self.values[scenario][allocator]))
+
+    def seeds_run(self) -> int:
+        for by_allocator in self.values.values():
+            for runs in by_allocator.values():
+                return len(runs)
+        return 0
+
+    def win_counts(self, scenario: str) -> Dict[str, int]:
+        """Per-allocator count of seeds where it had the best metric."""
+        by_allocator = self.values[scenario]
+        names = list(by_allocator)
+        n_seeds = len(by_allocator[names[0]])
+        wins = {name: 0 for name in names}
+        for seed_index in range(n_seeds):
+            best = max(names, key=lambda n: by_allocator[n][seed_index])
+            wins[best] += 1
+        return wins
+
+    def summary_rows(self) -> List[List]:
+        """Rows of (scenario, allocator, mean, std) for reporting."""
+        rows = []
+        for scenario, by_allocator in self.values.items():
+            for allocator, runs in by_allocator.items():
+                rows.append(
+                    [
+                        scenario,
+                        allocator,
+                        float(np.mean(runs)),
+                        float(np.std(runs)),
+                    ]
+                )
+        return rows
+
+
+def replicate_comparison(
+    run_fn: Callable[[int], Mapping[str, Mapping[str, EvalResult]]],
+    seeds: Sequence[int],
+    metric: str = "aggregated_reward",
+) -> ReplicatedComparison:
+    """Run ``run_fn(seed)`` for each seed and aggregate one metric.
+
+    ``run_fn`` returns the ``{scenario: {allocator: EvalResult}}`` mapping
+    produced by the comparison experiments; ``metric`` names a zero-arg
+    EvalResult method.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    aggregated = ReplicatedComparison(metric=metric)
+    for seed in seeds:
+        results = run_fn(seed)
+        for scenario, by_allocator in results.items():
+            scenario_bucket = aggregated.values.setdefault(scenario, {})
+            for allocator, result in by_allocator.items():
+                scenario_bucket.setdefault(allocator, []).append(
+                    float(getattr(result, metric)())
+                )
+    return aggregated

@@ -1,0 +1,74 @@
+"""Regression losses for the environment model and the DDPG critic."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Loss", "MeanSquaredError", "HuberLoss", "get_loss"]
+
+
+class Loss(ABC):
+    """Base class: ``__call__`` returns ``(loss_value, grad_wrt_prediction)``."""
+
+    name = "loss"
+
+    @abstractmethod
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Return mean loss over the batch and its gradient."""
+
+    def _check(self, prediction: np.ndarray, target: np.ndarray) -> None:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target shape {target.shape}"
+            )
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error — the paper's environment-model objective (Eq. 2)."""
+
+    name = "mse"
+
+    def __call__(self, prediction, target):
+        self._check(prediction, target)
+        diff = prediction - target
+        loss = float(np.mean(diff * diff))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class HuberLoss(Loss):
+    """Huber loss — robust alternative for critic training."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta!r}")
+        self.delta = delta
+
+    def __call__(self, prediction, target):
+        self._check(prediction, target)
+        diff = prediction - target
+        abs_diff = np.abs(diff)
+        quadratic = np.minimum(abs_diff, self.delta)
+        linear = abs_diff - quadratic
+        loss = float(np.mean(0.5 * quadratic**2 + self.delta * linear))
+        grad = np.clip(diff, -self.delta, self.delta) / diff.size
+        return loss, grad
+
+
+_REGISTRY = {"mse": MeanSquaredError, "huber": HuberLoss}
+
+
+def get_loss(name: str) -> Loss:
+    """Look up a loss by name (``mse`` or ``huber``)."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown loss {name!r}; known: {known}") from None

@@ -1,0 +1,151 @@
+"""Gradient-descent optimisers.
+
+The optimisers operate on lists of (parameter, gradient) array pairs supplied
+by :class:`repro.nn.network.MLP`, keeping per-parameter state (momentum /
+Adam moments) keyed by position.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "get_optimizer"]
+
+ParamGrads = List[Tuple[np.ndarray, np.ndarray]]
+
+
+class Optimizer(ABC):
+    """Base optimiser; subclasses implement :meth:`step`."""
+
+    name = "optimizer"
+
+    def __init__(self, learning_rate: float = 1e-3, grad_clip: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate!r}")
+        if grad_clip < 0:
+            raise ValueError(f"grad_clip must be >= 0, got {grad_clip!r}")
+        self.learning_rate = learning_rate
+        self.grad_clip = grad_clip
+        self._state: Dict[int, Dict[str, np.ndarray]] = {}
+        self.iterations = 0
+
+    def step(self, params_and_grads: ParamGrads) -> None:
+        """Update every parameter array in place from its gradient."""
+        self.iterations += 1
+        if self.grad_clip:
+            params_and_grads = self._clip(params_and_grads)
+        for index, (param, grad) in enumerate(params_and_grads):
+            if param.shape != grad.shape:
+                raise ValueError(
+                    f"param/grad shape mismatch at slot {index}: "
+                    f"{param.shape} vs {grad.shape}"
+                )
+            self._update(index, param, grad)
+
+    def _clip(self, params_and_grads: ParamGrads) -> ParamGrads:
+        """Clip by global norm (TensorFlow-style clip_by_global_norm)."""
+        total = np.sqrt(
+            sum(float(np.sum(g * g)) for _, g in params_and_grads)
+        )
+        if total <= self.grad_clip or total == 0.0:
+            return params_and_grads
+        scale = self.grad_clip / total
+        return [(p, g * scale) for p, g in params_and_grads]
+
+    @abstractmethod
+    def _update(self, index: int, param: np.ndarray, grad: np.ndarray) -> None:
+        """Apply one update to ``param`` in place."""
+
+    def reset(self) -> None:
+        """Drop accumulated state (e.g. after re-initialising a network)."""
+        self._state.clear()
+        self.iterations = 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    name = "sgd"
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+        grad_clip: float = 0.0,
+    ):
+        super().__init__(learning_rate, grad_clip)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum!r}")
+        self.momentum = momentum
+
+    def _update(self, index, param, grad):
+        if self.momentum:
+            state = self._state.setdefault(
+                index, {"velocity": np.zeros_like(param)}
+            )
+            velocity = state["velocity"]
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+        else:
+            param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba) — default for all networks here."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        grad_clip: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(learning_rate, grad_clip)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must lie in [0, 1), got {beta1!r}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must lie in [0, 1), got {beta2!r}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay!r}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+
+    def _update(self, index, param, grad):
+        state = self._state.setdefault(
+            index, {"m": np.zeros_like(param), "v": np.zeros_like(param)}
+        )
+        m, v = state["m"], state["v"]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1**self.iterations)
+        v_hat = v / (1.0 - self.beta2**self.iterations)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        if self.weight_decay:
+            # Decoupled (AdamW-style) decay: keeps logits from saturating.
+            param -= self.learning_rate * self.weight_decay * param
+
+
+_REGISTRY = {"sgd": SGD, "adam": Adam}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Look up an optimiser by name (``sgd`` or ``adam``)."""
+    try:
+        return _REGISTRY[name](**kwargs)
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown optimizer {name!r}; known: {known}") from None

@@ -1,0 +1,126 @@
+"""The softmax actor network.
+
+"We design output of actor network as a categorical distribution over J
+different possible categories, by applying a softmax activation function at
+the output layer.  The categorical distribution can then be translated into
+numbers of consumers by multiplying with the total number of consumers C:
+m_j(k) = floor(C * a_j(k))" (Section IV-D).
+
+State inputs are normalised by a fixed scale (WIP counts can reach
+hundreds; raw counts would saturate the first layer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import MLP, Adam
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["Actor"]
+
+
+class Actor:
+    """Deterministic policy mu_theta: state -> point on the action simplex."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        hidden_sizes: Sequence[int] = (256, 256, 256),
+        learning_rate: float = 1e-4,
+        state_scale: float = 100.0,
+        rng: Optional[RngStream] = None,
+        output_mixing: float = 0.02,
+        weight_decay: float = 1e-4,
+    ):
+        check_positive("state_dim", state_dim)
+        check_positive("action_dim", action_dim)
+        check_positive("state_scale", state_scale)
+        if not 0 <= output_mixing < 1:
+            raise ValueError(
+                f"output_mixing must lie in [0, 1), got {output_mixing!r}"
+            )
+        if rng is None:
+            rng = RngStream("actor", np.random.SeedSequence(0))
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.state_scale = state_scale
+        #: Mix a little uniform mass into the softmax: a <- (1-eps)a + eps/J.
+        #: Keeps the policy off exact simplex corners, where the softmax
+        #: Jacobian vanishes and the deterministic policy gradient dies.
+        self.output_mixing = output_mixing
+        self.network = MLP(
+            [state_dim, *hidden_sizes, action_dim],
+            hidden_activation="relu",
+            output_activation="softmax",
+            rng=rng.fork("net"),
+            final_init="small_uniform",
+        )
+        self.target_network = self.network.clone()
+        self.optimizer = Adam(
+            learning_rate, grad_clip=1.0, weight_decay=weight_decay
+        )
+
+    def normalize(self, states: np.ndarray) -> np.ndarray:
+        """Compress raw WIP states into a range the MLP handles well.
+
+        WIP is non-negative and heavy-tailed (background load keeps it
+        near zero; bursts push it into the hundreds), so a log transform
+        keeps resolution near the boundary while bounding burst states:
+        ``log1p(w) / log1p(state_scale)`` is ~1 at ``state_scale`` WIP.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        return np.log1p(np.maximum(states, 0.0)) / np.log1p(self.state_scale)
+
+    def _mix(self, actions: np.ndarray) -> np.ndarray:
+        if not self.output_mixing:
+            return actions
+        uniform = 1.0 / self.action_dim
+        return (1.0 - self.output_mixing) * actions + self.output_mixing * uniform
+
+    def act(self, state: np.ndarray, network: Optional[MLP] = None) -> np.ndarray:
+        """Action for one state; optionally through a perturbed network."""
+        network = network or self.network
+        action = network.predict(self.normalize(np.atleast_2d(state)))[0]
+        return self._mix(action)
+
+    def act_batch(
+        self, states: np.ndarray, network: Optional[MLP] = None
+    ) -> np.ndarray:
+        network = network or self.network
+        return self._mix(network.forward(self.normalize(states)))
+
+    def act_target(self, states: np.ndarray) -> np.ndarray:
+        """Target-network actions mu'(s) for critic bootstrapping."""
+        return self._mix(self.target_network.forward(self.normalize(states)))
+
+    def apply_policy_gradient(
+        self, states: np.ndarray, dq_da: np.ndarray
+    ) -> None:
+        """Deterministic policy gradient ascent step.
+
+        ``dq_da`` is the critic's gradient of Q w.r.t. the action evaluated
+        at a = mu(s); ascending Q means descending -Q, so we backpropagate
+        ``-dq_da / B`` through the actor and step its optimiser (Silver et
+        al. 2014, as quoted in the paper's Section IV-D).
+        """
+        states = np.atleast_2d(states)
+        dq_da = np.atleast_2d(dq_da)
+        if dq_da.shape != (states.shape[0], self.action_dim):
+            raise ValueError(
+                f"dq_da shape {dq_da.shape} != "
+                f"({states.shape[0]}, {self.action_dim})"
+            )
+        self.network.forward(self.normalize(states))
+        # The uniform mixing is affine, so its chain-rule factor is a
+        # constant (1 - eps) on the incoming gradient.
+        scale = (1.0 - self.output_mixing) / states.shape[0]
+        self.network.backward(-dq_da * scale)
+        self.optimizer.step(self.network.params_and_grads())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Actor({self.network!r})"

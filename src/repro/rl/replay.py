@@ -1,0 +1,95 @@
+"""Experience replay buffer."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of (s, a, r, s') transitions.
+
+    Storage is preallocated numpy, so sampling a batch is a single fancy
+    index — important because DDPG samples every update step.
+    """
+
+    def __init__(self, capacity: int, state_dim: int, action_dim: int):
+        check_positive("capacity", capacity)
+        check_positive("state_dim", state_dim)
+        check_positive("action_dim", action_dim)
+        self.capacity = capacity
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self._states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self._actions = np.zeros((capacity, action_dim), dtype=np.float64)
+        self._rewards = np.zeros((capacity, 1), dtype=np.float64)
+        self._next_states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self._size = 0
+        self._cursor = 0
+        self.total_added = 0
+
+    def add(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+    ) -> None:
+        """Store one transition, evicting the oldest when full (FIFO)."""
+        state = np.asarray(state, dtype=np.float64)
+        action = np.asarray(action, dtype=np.float64)
+        next_state = np.asarray(next_state, dtype=np.float64)
+        if state.shape != (self.state_dim,):
+            raise ValueError(
+                f"state shape {state.shape} != ({self.state_dim},)"
+            )
+        if action.shape != (self.action_dim,):
+            raise ValueError(
+                f"action shape {action.shape} != ({self.action_dim},)"
+            )
+        if next_state.shape != (self.state_dim,):
+            raise ValueError(
+                f"next_state shape {next_state.shape} != ({self.state_dim},)"
+            )
+        i = self._cursor
+        self._states[i] = state
+        self._actions[i] = action
+        self._rewards[i, 0] = reward
+        self._next_states[i] = next_state
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        self.total_added += 1
+
+    def sample(self, batch_size: int, rng: RngStream) -> Dict[str, np.ndarray]:
+        """Uniformly sample a batch (with replacement when undersized)."""
+        if self._size == 0:
+            raise RuntimeError("cannot sample from an empty replay buffer")
+        check_positive("batch_size", batch_size)
+        replace = batch_size > self._size
+        idx = rng.choice(self._size, size=batch_size, replace=replace)
+        return {
+            "states": self._states[idx].copy(),
+            "actions": self._actions[idx].copy(),
+            "rewards": self._rewards[idx].copy(),
+            "next_states": self._next_states[idx].copy(),
+        }
+
+    def sample_states(self, batch_size: int, rng: RngStream) -> np.ndarray:
+        """States only — used for parameter-noise distance adaptation."""
+        return self.sample(batch_size, rng)["states"]
+
+    def clear(self) -> None:
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplayBuffer(size={self._size}/{self.capacity})"

@@ -1,0 +1,44 @@
+"""Discrete-event emulation of the microservice workflow infrastructure.
+
+This package substitutes the paper's physical testbed (3 GCP VMs running
+Zookeeper, RabbitMQ, Docker and Kubernetes — Section V) with a faithful
+discrete-event model:
+
+- :mod:`repro.sim.events` — simulation clock and event heap,
+- :mod:`repro.sim.queueing` — RabbitMQ-style queues with ack/redelivery,
+- :mod:`repro.sim.tds` — the replicated Task Dependency Service,
+- :mod:`repro.sim.cluster` — nodes, container placement, start-up latency,
+- :mod:`repro.sim.microservice` — queue + consumer-pool microservices,
+- :mod:`repro.sim.invoker` — the workflow invoker of Fig. 1,
+- :mod:`repro.sim.system` — the full system facade with 30 s time windows,
+- :mod:`repro.sim.env` — the RL-style reset/step interface used by MIRAS.
+"""
+
+from repro.sim.cluster import CapacityError, Cluster, Node
+from repro.sim.env import MicroserviceEnv
+from repro.sim.events import EventLoop
+from repro.sim.faults import ChaosInjector, crash_one_consumer
+from repro.sim.metrics import WindowObservation
+from repro.sim.queueing import AckQueue, DeliveryTag
+from repro.sim.requests import TaskRequest, WorkflowRequest
+from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
+from repro.sim.tds import TaskDependencyService, TdsUnavailableError
+
+__all__ = [
+    "EventLoop",
+    "ChaosInjector",
+    "crash_one_consumer",
+    "AckQueue",
+    "DeliveryTag",
+    "TaskRequest",
+    "WorkflowRequest",
+    "TaskDependencyService",
+    "TdsUnavailableError",
+    "Cluster",
+    "Node",
+    "CapacityError",
+    "MicroserviceWorkflowSystem",
+    "SystemConfig",
+    "WindowObservation",
+    "MicroserviceEnv",
+]

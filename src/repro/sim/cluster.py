@@ -1,0 +1,96 @@
+"""Cluster nodes and container placement (Kubernetes/GCP analog).
+
+The paper's testbed is three identical VMs; Kubernetes "manages load
+balancing of containers among the three machines".  We model nodes with a
+unit-slot capacity (consumers have identical computational capacity per the
+paper's resource model) and least-loaded placement, which is both what a
+balanced scheduler converges to and optimal for unit-size items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["Node", "Cluster", "CapacityError"]
+
+
+class CapacityError(RuntimeError):
+    """Raised when a placement would exceed the cluster's total slots."""
+
+
+class Node:
+    """One machine with a fixed number of consumer slots."""
+
+    def __init__(self, node_id: int, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"node capacity must be >= 1, got {capacity}")
+        self.node_id = node_id
+        self.capacity = capacity
+        self.used = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def allocate(self) -> None:
+        if self.used >= self.capacity:
+            raise CapacityError(f"node {self.node_id} is full")
+        self.used += 1
+
+    def release(self) -> None:
+        if self.used <= 0:
+            raise RuntimeError(f"node {self.node_id} has no slot to release")
+        self.used -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(id={self.node_id}, used={self.used}/{self.capacity})"
+
+
+class Cluster:
+    """A pool of nodes with least-loaded container placement."""
+
+    def __init__(self, num_nodes: int = 3, node_capacity: int = 8):
+        if num_nodes < 1:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        self.nodes: List[Node] = [Node(i, node_capacity) for i in range(num_nodes)]
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(node.capacity for node in self.nodes)
+
+    @property
+    def total_used(self) -> int:
+        return sum(node.used for node in self.nodes)
+
+    @property
+    def total_free(self) -> int:
+        return self.total_capacity - self.total_used
+
+    def place(self) -> Node:
+        """Allocate one slot on the least-loaded node (ties: lowest id)."""
+        best = min(self.nodes, key=lambda n: (n.used, n.node_id))
+        if best.free <= 0:
+            raise CapacityError(
+                f"cluster full: {self.total_used}/{self.total_capacity} slots used"
+            )
+        best.allocate()
+        return best
+
+    def release(self, node: Node) -> None:
+        """Free one slot previously obtained from :meth:`place`."""
+        node.release()
+
+    def load_by_node(self) -> Dict[int, int]:
+        """Used slots per node (for load-balance assertions)."""
+        return {node.node_id: node.used for node in self.nodes}
+
+    def imbalance(self) -> int:
+        """Max minus min used slots across nodes; <= 1 under least-loaded."""
+        used = [node.used for node in self.nodes]
+        return max(used) - min(used)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(nodes={len(self.nodes)}, "
+            f"used={self.total_used}/{self.total_capacity})"
+        )

@@ -1,0 +1,85 @@
+"""Consumer containers (Docker-container analog).
+
+A consumer subscribes to its microservice's queue, processes one task
+request at a time, and acks on completion.  The lifecycle mirrors what the
+paper measured on Kubernetes: "it usually takes 5 to 10 seconds for
+Kubernetes to generate a new container or destroy an existing container" —
+new consumers spend a start-up delay before their first consume, and a
+killed busy consumer nacks its in-flight request so the queue redelivers it
+(the paper's no-lost-requests ack mechanism).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.events import EventHandle
+from repro.sim.queueing import DeliveryTag
+from repro.sim.requests import TaskRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.cluster import Node
+    from repro.sim.microservice import Microservice
+
+__all__ = ["Consumer", "ConsumerState", "sample_service_time"]
+
+_consumer_ids = itertools.count()
+
+
+class ConsumerState(enum.Enum):
+    """Container lifecycle states."""
+
+    STARTING = "starting"
+    IDLE = "idle"
+    BUSY = "busy"
+    STOPPED = "stopped"
+
+
+def sample_service_time(mean: float, cv: float, rng) -> float:
+    """Sample a lognormal service time with the given mean and CV.
+
+    The paper: "the processing time of each microservice is not fixed, due
+    to variant sizes of input data".  A lognormal is the standard heavy-ish
+    tailed model for such task durations.  ``cv=0`` degenerates to the mean.
+    """
+    if mean <= 0:
+        raise ValueError(f"mean service time must be positive, got {mean!r}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv!r}")
+    if cv == 0.0:
+        return mean
+    sigma_sq = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma_sq / 2.0
+    return float(rng.lognormal(mean=mu, sigma=math.sqrt(sigma_sq)))
+
+
+class Consumer:
+    """One container processing task requests for a single microservice."""
+
+    def __init__(self, microservice: "Microservice", node: "Node"):
+        self.consumer_id = next(_consumer_ids)
+        self.microservice = microservice
+        self.node = node
+        self.state = ConsumerState.STARTING
+        self.current_tag: Optional[DeliveryTag] = None
+        self.current_request: Optional[TaskRequest] = None
+        self.processing_started_at: float = 0.0
+        #: Handle to the pending activation or finish event (for kills).
+        self.pending_event: Optional[EventHandle] = None
+        # Lifetime counters.
+        self.tasks_completed = 0
+        self.busy_time = 0.0
+
+    @property
+    def is_active(self) -> bool:
+        """True while the consumer occupies a cluster slot."""
+        return self.state is not ConsumerState.STOPPED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Consumer(id={self.consumer_id}, "
+            f"service={self.microservice.name!r}, state={self.state.value})"
+        )

@@ -1,0 +1,148 @@
+"""RL-style environment interface over the microservice workflow system.
+
+Maps the paper's Section IV-B definitions onto a ``reset``/``step`` API:
+
+- **state** s(k) = w(k), the WIP vector (fully observable at window ends),
+- **action** a(k) = m(k), the consumer allocation, constrained to
+  ``sum_j m_j <= C``; the softmax-actor convenience
+  :meth:`MicroserviceEnv.allocation_from_simplex` applies the paper's
+  ``m_j = floor(C * a_j)`` mapping,
+- **reward** r(k) = 1 - sum_j w_j(k) (Eq. 1).
+
+One environment step is one real control window — the "tens of seconds, or
+even minutes" interaction the paper's sample-efficiency argument is about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sim.metrics import WindowObservation
+from repro.sim.system import MicroserviceWorkflowSystem
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_positive
+
+__all__ = ["MicroserviceEnv", "ConstraintViolation"]
+
+
+class ConstraintViolation(ValueError):
+    """Raised when an allocation exceeds the consumer budget C."""
+
+
+class MicroserviceEnv:
+    """reset/step interface used by MIRAS and all learning baselines."""
+
+    def __init__(
+        self,
+        system: MicroserviceWorkflowSystem,
+        consumer_budget: Optional[int] = None,
+    ):
+        self.system = system
+        self.consumer_budget = (
+            consumer_budget
+            if consumer_budget is not None
+            else system.config.consumer_budget
+        )
+        check_positive("consumer_budget", self.consumer_budget)
+        self.steps_taken = 0
+        self.episodes = 0
+
+    # Dimensions ------------------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        """J, the number of microservices."""
+        return self.system.ensemble.num_task_types
+
+    @property
+    def action_dim(self) -> int:
+        """J — one allocation entry per microservice."""
+        return self.system.ensemble.num_task_types
+
+    # Action helpers -----------------------------------------------------------
+    def allocation_from_simplex(self, simplex: np.ndarray) -> np.ndarray:
+        """The paper's mapping ``m_j = floor(C * a_j)`` from a softmax output.
+
+        Because the inputs sum to one, the floors always satisfy the budget.
+        """
+        simplex = np.asarray(simplex, dtype=np.float64)
+        if simplex.shape != (self.action_dim,):
+            raise ValueError(
+                f"simplex action has shape {simplex.shape}, expected "
+                f"({self.action_dim},)"
+            )
+        if np.any(simplex < -1e-9) or abs(float(simplex.sum()) - 1.0) > 1e-6:
+            raise ValueError(
+                f"action is not a probability simplex: {simplex} "
+                f"(sum={simplex.sum()!r})"
+            )
+        allocation = np.floor(self.consumer_budget * np.clip(simplex, 0, 1))
+        return allocation.astype(np.int64)
+
+    def random_allocation(self, rng: RngStream) -> np.ndarray:
+        """A uniformly random feasible allocation (for data collection)."""
+        simplex = rng.generator.dirichlet(np.ones(self.action_dim))
+        return self.allocation_from_simplex(simplex)
+
+    def uniform_allocation(self) -> np.ndarray:
+        """Budget split evenly (remainder to the lowest indices)."""
+        base = self.consumer_budget // self.action_dim
+        allocation = np.full(self.action_dim, base, dtype=np.int64)
+        for i in range(self.consumer_budget - base * self.action_dim):
+            allocation[i] += 1
+        return allocation
+
+    def check_budget(self, allocation: np.ndarray) -> np.ndarray:
+        """Validate ``sum_j m_j <= C``; returns the validated int vector."""
+        allocation = np.asarray(allocation)
+        if allocation.shape != (self.action_dim,):
+            raise ValueError(
+                f"allocation has shape {allocation.shape}, expected "
+                f"({self.action_dim},)"
+            )
+        if np.any(allocation < 0):
+            raise ConstraintViolation(
+                f"negative consumer counts: {allocation}"
+            )
+        total = int(allocation.sum())
+        if total > self.consumer_budget:
+            raise ConstraintViolation(
+                f"allocation uses {total} consumers, budget is "
+                f"{self.consumer_budget}"
+            )
+        return allocation.astype(np.int64)
+
+    # Core interface --------------------------------------------------------
+    def observe(self) -> np.ndarray:
+        """Current state w(k) without advancing time."""
+        return self.system.wip_vector()
+
+    def reset(self, max_windows: int = 40) -> np.ndarray:
+        """Drain WIP to ~0 (the paper's episode reset) and return the state."""
+        self.system.drain(max_windows=max_windows)
+        self.system.apply_allocation(self.uniform_allocation())
+        self.episodes += 1
+        return self.observe()
+
+    def step(
+        self, allocation: np.ndarray
+    ) -> Tuple[np.ndarray, float, WindowObservation]:
+        """Apply m(k), run one window, return (s(k+1), r(k+1), observation)."""
+        allocation = self.check_budget(allocation)
+        self.system.apply_allocation(allocation)
+        observation = self.system.run_window()
+        self.steps_taken += 1
+        return observation.wip.copy(), observation.reward, observation
+
+    def step_simplex(
+        self, simplex: np.ndarray
+    ) -> Tuple[np.ndarray, float, WindowObservation]:
+        """Step with a softmax-actor output instead of integer counts."""
+        return self.step(self.allocation_from_simplex(simplex))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MicroserviceEnv({self.system.ensemble.name!r}, "
+            f"C={self.consumer_budget}, steps={self.steps_taken})"
+        )

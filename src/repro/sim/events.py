@@ -1,0 +1,102 @@
+"""Simulation clock and event heap.
+
+A minimal, deterministic discrete-event engine: events are ``(time, seq,
+callback)`` triples on a binary heap; ties in time are broken by insertion
+order (``seq``), which makes every run bit-reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventLoop", "EventHandle"]
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows O(1) cancellation."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event loop.
+
+    The loop does not run free — callers advance it explicitly with
+    :meth:`run_until`, which matches the paper's time-window structure:
+    the controller acts, then the world advances by one window.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (when={when!r}, now={self._now!r})"
+            )
+        handle = EventHandle()
+        heapq.heappush(self._heap, (when, next(self._seq), handle, callback))
+        return handle
+
+    def run_until(self, when: float, max_events: Optional[int] = None) -> int:
+        """Execute all events with timestamp <= ``when``; advance the clock.
+
+        Returns the number of events executed.  ``max_events`` is a safety
+        valve for tests; exceeding it raises ``RuntimeError`` (it would mean
+        a runaway self-scheduling loop).
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot run backwards (when={when!r}, now={self._now!r})"
+            )
+        executed = 0
+        while self._heap and self._heap[0][0] <= when:
+            event_time, _, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = event_time
+            callback()
+            executed += 1
+            self._processed += 1
+            if max_events is not None and executed > max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events} before reaching t={when}"
+                )
+        self._now = when
+        return executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLoop(now={self._now:.3f}, pending={self.pending})"

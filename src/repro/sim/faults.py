@@ -1,0 +1,147 @@
+"""Fault injection for robustness testing.
+
+The paper's infrastructure is built for availability (TDS ensemble, ack
+mechanism, Kubernetes restarts); this module exercises those mechanisms:
+
+- **consumer crashes**: a busy container dies mid-task; its unacked
+  request is redelivered (the ack mechanism's guarantee) and the
+  replication controller immediately starts a replacement (start-up delay
+  applies),
+- **TDS replica outages**: a replica goes down for a while; queries
+  continue as long as a majority is healthy.
+
+:class:`ChaosInjector` schedules such faults randomly on the system's
+event loop, for stress tests and failure-injection suites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.consumer import ConsumerState
+from repro.sim.microservice import Microservice
+from repro.sim.system import MicroserviceWorkflowSystem
+from repro.utils.rng import RngStream
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["crash_one_consumer", "ChaosInjector"]
+
+
+def crash_one_consumer(microservice: Microservice) -> bool:
+    """Crash one busy (else idle) consumer and start a replacement.
+
+    The crash is a hard kill regardless of the scale-down mode: the
+    in-flight request is nacked (redelivered, never lost) and a fresh
+    container is launched to restore the allocation, paying the usual
+    start-up latency.  Returns False when there is nothing to crash.
+    """
+    victim: Optional = None
+    for state in (ConsumerState.BUSY, ConsumerState.IDLE):
+        for consumer in microservice.consumers:
+            if consumer.state is state:
+                victim = consumer
+                break
+        if victim is not None:
+            break
+    if victim is None:
+        return False
+
+    if victim.pending_event is not None:
+        victim.pending_event.cancel()
+        victim.pending_event = None
+    if victim.state is ConsumerState.BUSY:
+        assert victim.current_tag is not None
+        elapsed = microservice.loop.now - victim.processing_started_at
+        victim.current_request.wasted_work += elapsed
+        microservice.queue.nack(victim.current_tag)
+        victim.current_tag = None
+        victim.current_request = None
+        microservice.consumers_killed_busy += 1
+    victim.state = ConsumerState.STOPPED
+    microservice.consumers.remove(victim)
+    microservice.cluster.release(victim.node)
+    # Replacement container (restores the allocation m_j).
+    microservice._start_consumer()
+    return True
+
+
+class ChaosInjector:
+    """Random fault schedule over a running system."""
+
+    def __init__(
+        self,
+        system: MicroserviceWorkflowSystem,
+        rng: Optional[RngStream] = None,
+        consumer_crash_rate: float = 0.0,
+        tds_outage_rate: float = 0.0,
+        tds_outage_duration: float = 60.0,
+    ):
+        check_non_negative("consumer_crash_rate", consumer_crash_rate)
+        check_non_negative("tds_outage_rate", tds_outage_rate)
+        check_positive("tds_outage_duration", tds_outage_duration)
+        self.system = system
+        self.rng = rng if rng is not None else system.workload_rng.fork("chaos")
+        self.consumer_crash_rate = consumer_crash_rate
+        self.tds_outage_rate = tds_outage_rate
+        self.tds_outage_duration = tds_outage_duration
+        self.active = False
+        self.crashes_injected = 0
+        self.outages_injected = 0
+
+    def start(self) -> "ChaosInjector":
+        """Begin scheduling faults; returns self."""
+        if self.active:
+            raise RuntimeError("chaos injector already started")
+        self.active = True
+        if self.consumer_crash_rate > 0:
+            self._schedule_crash()
+        if self.tds_outage_rate > 0:
+            self._schedule_outage()
+        return self
+
+    def stop(self) -> None:
+        self.active = False
+
+    # Consumer crashes ---------------------------------------------------
+    def _schedule_crash(self) -> None:
+        delay = float(self.rng.exponential(1.0 / self.consumer_crash_rate))
+        self.system.loop.schedule(delay, self._crash)
+
+    def _crash(self) -> None:
+        if not self.active:
+            return
+        names = list(self.system.microservices)
+        target = self.system.microservices[
+            names[int(self.rng.integers(0, len(names)))]
+        ]
+        if crash_one_consumer(target):
+            self.crashes_injected += 1
+        self._schedule_crash()
+
+    # TDS outages ----------------------------------------------------------
+    def _schedule_outage(self) -> None:
+        delay = float(self.rng.exponential(1.0 / self.tds_outage_rate))
+        self.system.loop.schedule(delay, self._outage)
+
+    def _outage(self) -> None:
+        if not self.active:
+            return
+        tds = self.system.tds
+        healthy = [s.server_id for s in tds.servers if s.up]
+        # Never take the last majority down: the infrastructure's
+        # availability guarantee only covers minority failures.
+        if len(healthy) > tds.quorum:
+            victim = healthy[int(self.rng.integers(0, len(healthy)))]
+            tds.fail_server(victim)
+            self.outages_injected += 1
+            self.system.loop.schedule(
+                self.tds_outage_duration,
+                lambda server_id=victim: tds.recover_server(server_id),
+            )
+        self._schedule_outage()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChaosInjector(crashes={self.crashes_injected}, "
+            f"outages={self.outages_injected})"
+        )

@@ -1,0 +1,222 @@
+"""A microservice: one request queue plus a scalable consumer pool.
+
+"Each task type is modeled as a microservice that consists of a request
+queue and a set of consumers subscribing to the queue to handle requests"
+(Section II-A).  Scaling follows the paper's Kubernetes measurements:
+
+- **scale up**: new consumers take a uniform(5, 10) s start-up delay before
+  their first consume (container creation; "can be parallelized"),
+- **scale down**: the replication controller removes containers.  We first
+  cancel still-starting consumers, then idle ones, then busy ones.  A busy
+  victim's fate depends on the scale-down mode:
+
+  - ``"drain"`` (default, matching Kubernetes' SIGTERM grace period): the
+    consumer finishes its in-flight task, then exits.  It stops counting
+    against the allocation immediately (like a Terminating pod) and takes
+    no further work.
+  - ``"kill"``: the consumer dies instantly and nacks its in-flight
+    request, so the ack mechanism redelivers it and no request is lost —
+    the elapsed processing is wasted.
+
+  Either way the allocation m_j drops to the target at once, so the
+  consumer-budget constraint stays enforced ("In all following experiments
+  we make sure that the constraints are enforced").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.cluster import Cluster
+from repro.sim.consumer import Consumer, ConsumerState, sample_service_time
+from repro.sim.events import EventLoop
+from repro.sim.queueing import AckQueue
+from repro.sim.requests import TaskRequest
+from repro.utils.rng import RngStream
+from repro.workflows.dag import TaskType
+
+__all__ = ["Microservice"]
+
+#: Called with (task_request, completion_time) when a task finishes.
+TaskCompletionCallback = Callable[[TaskRequest, float], None]
+
+
+class Microservice:
+    """Queue + consumer pool for one task type."""
+
+    def __init__(
+        self,
+        task_type: TaskType,
+        loop: EventLoop,
+        cluster: Cluster,
+        rng: RngStream,
+        on_task_complete: TaskCompletionCallback,
+        startup_delay_range: Tuple[float, float] = (5.0, 10.0),
+        scale_down_mode: str = "drain",
+    ):
+        low, high = startup_delay_range
+        if not 0 <= low <= high:
+            raise ValueError(
+                f"bad startup_delay_range {startup_delay_range!r}"
+            )
+        if scale_down_mode not in ("drain", "kill"):
+            raise ValueError(
+                f"scale_down_mode must be 'drain' or 'kill', "
+                f"got {scale_down_mode!r}"
+            )
+        self.task_type = task_type
+        self.loop = loop
+        self.cluster = cluster
+        self.rng = rng
+        self.on_task_complete = on_task_complete
+        self.startup_delay_range = startup_delay_range
+        self.scale_down_mode = scale_down_mode
+
+        self.queue = AckQueue(task_type.name)
+        self.queue.subscribe(self._dispatch)
+        self.consumers: List[Consumer] = []
+        #: Busy consumers finishing their last task before exiting
+        #: (Terminating pods); they no longer count toward the allocation.
+        self.draining: List[Consumer] = []
+        # Lifetime counters.
+        self.tasks_completed = 0
+        self.consumers_killed_busy = 0
+        self.consumers_killed_starting = 0
+        self.consumers_started = 0
+
+    @property
+    def name(self) -> str:
+        return self.task_type.name
+
+    # Scaling -------------------------------------------------------------
+    @property
+    def allocated(self) -> int:
+        """Current consumer count (the paper's m_j)."""
+        return len(self.consumers)
+
+    def scale_to(self, target: int) -> None:
+        """Adjust the consumer pool to exactly ``target`` containers."""
+        if target < 0:
+            raise ValueError(f"consumer count must be >= 0, got {target}")
+        while self.allocated < target:
+            self._start_consumer()
+        while self.allocated > target:
+            self._remove_one_consumer()
+
+    def _start_consumer(self) -> None:
+        node = self.cluster.place()
+        consumer = Consumer(self, node)
+        self.consumers.append(consumer)
+        self.consumers_started += 1
+        low, high = self.startup_delay_range
+        delay = float(self.rng.uniform(low, high)) if high > 0 else 0.0
+        consumer.pending_event = self.loop.schedule(
+            delay, lambda c=consumer: self._on_started(c)
+        )
+
+    def _on_started(self, consumer: Consumer) -> None:
+        if consumer.state is not ConsumerState.STARTING:
+            return  # was killed while starting; activation already cancelled
+        consumer.state = ConsumerState.IDLE
+        consumer.pending_event = None
+        self._dispatch()
+
+    def _remove_one_consumer(self) -> None:
+        """Remove the cheapest consumer: starting > idle > busy."""
+        victim = self._pick_victim()
+        if victim.state is ConsumerState.BUSY and self.scale_down_mode == "drain":
+            # Graceful termination: finish the in-flight task, then exit.
+            # The consumer leaves the allocation count immediately.
+            self.consumers.remove(victim)
+            self.draining.append(victim)
+            return
+        if victim.pending_event is not None:
+            victim.pending_event.cancel()
+            victim.pending_event = None
+        if victim.state is ConsumerState.STARTING:
+            self.consumers_killed_starting += 1
+        if victim.state is ConsumerState.BUSY:
+            # Kill mode: the in-flight request is redelivered; elapsed
+            # work is wasted.
+            assert victim.current_tag is not None
+            assert victim.current_request is not None
+            elapsed = self.loop.now - victim.processing_started_at
+            victim.current_request.wasted_work += elapsed
+            self.queue.nack(victim.current_tag)
+            victim.current_tag = None
+            victim.current_request = None
+            self.consumers_killed_busy += 1
+        victim.state = ConsumerState.STOPPED
+        self.consumers.remove(victim)
+        self.cluster.release(victim.node)
+
+    def _pick_victim(self) -> Consumer:
+        for state in (ConsumerState.STARTING, ConsumerState.IDLE):
+            for consumer in self.consumers:
+                if consumer.state is state:
+                    return consumer
+        return self.consumers[-1]  # newest busy consumer
+
+    # Processing ------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Hand ready messages to idle consumers (push delivery)."""
+        for consumer in self.consumers:
+            if consumer.state is not ConsumerState.IDLE:
+                continue
+            item = self.queue.consume()
+            if item is None:
+                return
+            tag, request = item
+            consumer.state = ConsumerState.BUSY
+            consumer.current_tag = tag
+            consumer.current_request = request
+            consumer.processing_started_at = self.loop.now
+            service_time = sample_service_time(
+                self.task_type.mean_service_time, self.task_type.cv, self.rng
+            )
+            consumer.pending_event = self.loop.schedule(
+                service_time, lambda c=consumer: self._on_finished(c)
+            )
+
+    def _on_finished(self, consumer: Consumer) -> None:
+        if consumer.state is not ConsumerState.BUSY:
+            return  # killed before finishing; nack already handled it
+        assert consumer.current_tag is not None
+        assert consumer.current_request is not None
+        request = self.queue.ack(consumer.current_tag)
+        now = self.loop.now
+        consumer.tasks_completed += 1
+        consumer.busy_time += now - consumer.processing_started_at
+        consumer.current_tag = None
+        consumer.current_request = None
+        consumer.pending_event = None
+        self.tasks_completed += 1
+        if consumer in self.draining:
+            # Terminating pod: its last task is done; release the slot.
+            consumer.state = ConsumerState.STOPPED
+            self.draining.remove(consumer)
+            self.cluster.release(consumer.node)
+        else:
+            consumer.state = ConsumerState.IDLE
+        self.on_task_complete(request, now)
+        self._dispatch()
+
+    # Introspection -----------------------------------------------------------
+    @property
+    def wip(self) -> int:
+        """Work-in-progress w_j: queued + in-processing requests."""
+        return self.queue.depth
+
+    @property
+    def busy_consumers(self) -> int:
+        return sum(1 for c in self.consumers if c.state is ConsumerState.BUSY)
+
+    @property
+    def starting_consumers(self) -> int:
+        return sum(1 for c in self.consumers if c.state is ConsumerState.STARTING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Microservice({self.name!r}, consumers={self.allocated}, "
+            f"wip={self.wip})"
+        )

@@ -1,0 +1,83 @@
+"""Workflow and task request records.
+
+A :class:`WorkflowRequest` is one submission of a workflow type (the unit
+whose response time the paper reports); it fans out into one
+:class:`TaskRequest` per task in the workflow's DAG, published according to
+the AND-join dependency rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+__all__ = ["WorkflowRequest", "TaskRequest"]
+
+_request_ids = itertools.count()
+_task_ids = itertools.count()
+
+
+@dataclass
+class WorkflowRequest:
+    """One submitted workflow instance.
+
+    Attributes
+    ----------
+    workflow_type:
+        Name of the workflow type (e.g. ``Type1``, ``CAT``).
+    arrival_time:
+        Simulation time at which the request entered the system.
+    completed_tasks:
+        Task names of this instance that have finished processing; drives
+        the AND-join readiness test.
+    completion_time:
+        Set when the last task finishes ("the time when the workflow's last
+        task is finished", Section II-B).
+    """
+
+    workflow_type: str
+    arrival_time: float
+    total_tasks: int
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    completed_tasks: Set[str] = field(default_factory=set)
+    completion_time: Optional[float] = None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completion_time is not None
+
+    def response_time(self) -> float:
+        """Arrival-to-last-task-finish duration (the paper's "delay")."""
+        if self.completion_time is None:
+            raise RuntimeError(
+                f"workflow request {self.request_id} is not complete yet"
+            )
+        return self.completion_time - self.arrival_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.is_complete else f"{len(self.completed_tasks)} tasks"
+        return (
+            f"WorkflowRequest(id={self.request_id}, type={self.workflow_type!r}, "
+            f"{state})"
+        )
+
+
+@dataclass
+class TaskRequest:
+    """One task of one workflow instance, queued at a microservice."""
+
+    task_type: str
+    workflow: WorkflowRequest
+    published_at: float
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    #: Number of delivery attempts (redeliveries after consumer kills).
+    deliveries: int = 0
+    #: Cumulative processing time wasted by interrupted attempts.
+    wasted_work: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskRequest(id={self.task_id}, task={self.task_type!r}, "
+            f"wf={self.workflow.request_id})"
+        )

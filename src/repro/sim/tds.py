@@ -1,0 +1,130 @@
+"""Task Dependency Service (Zookeeper-ensemble analog).
+
+The paper uses three Zookeeper nodes as TDS servers "to increase
+availability": the TDS stores each workflow type's task-dependency table
+(Fig. 2) and answers two queries — which tasks start a workflow (step 1 of
+Fig. 1) and which tasks follow a completed task (step 4).
+
+We model an ensemble of replica servers with majority-quorum reads: a read
+succeeds while a majority of replicas are up, round-robining across healthy
+replicas (load distribution).  Replica failure/recovery is scriptable so
+tests can exercise failover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workflows.dag import WorkflowEnsemble
+
+__all__ = ["TaskDependencyService", "TdsServer", "TdsUnavailableError"]
+
+
+class TdsUnavailableError(RuntimeError):
+    """Raised when fewer than a majority of TDS replicas are up."""
+
+
+class TdsServer:
+    """One replica holding a full copy of the dependency tables."""
+
+    def __init__(self, server_id: int, ensemble: WorkflowEnsemble):
+        self.server_id = server_id
+        self._ensemble = ensemble
+        self.up = True
+        self.reads_served = 0
+
+    def entry_tasks(self, workflow_type: str) -> Tuple[str, ...]:
+        self._check_up()
+        self.reads_served += 1
+        return self._ensemble.workflow(workflow_type).entry_tasks
+
+    def successors(self, workflow_type: str, task: str) -> Tuple[str, ...]:
+        self._check_up()
+        self.reads_served += 1
+        return self._ensemble.workflow(workflow_type).successors(task)
+
+    def predecessors(self, workflow_type: str, task: str) -> Tuple[str, ...]:
+        self._check_up()
+        self.reads_served += 1
+        return self._ensemble.workflow(workflow_type).predecessors(task)
+
+    def _check_up(self) -> None:
+        if not self.up:
+            raise TdsUnavailableError(f"TDS replica {self.server_id} is down")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"TdsServer(id={self.server_id}, {state})"
+
+
+class TaskDependencyService:
+    """Replicated dependency store with majority-quorum availability."""
+
+    def __init__(self, ensemble: WorkflowEnsemble, replicas: int = 3):
+        if replicas < 1:
+            raise ValueError(f"need at least one TDS replica, got {replicas}")
+        self.ensemble = ensemble
+        self.servers: List[TdsServer] = [
+            TdsServer(i, ensemble) for i in range(replicas)
+        ]
+        self._next = 0
+
+    # Availability management --------------------------------------------
+    @property
+    def quorum(self) -> int:
+        return len(self.servers) // 2 + 1
+
+    @property
+    def healthy_count(self) -> int:
+        return sum(1 for s in self.servers if s.up)
+
+    def fail_server(self, server_id: int) -> None:
+        """Take one replica down (test/chaos hook)."""
+        self._server(server_id).up = False
+
+    def recover_server(self, server_id: int) -> None:
+        """Bring one replica back."""
+        self._server(server_id).up = True
+
+    def _server(self, server_id: int) -> TdsServer:
+        for server in self.servers:
+            if server.server_id == server_id:
+                return server
+        raise KeyError(f"no TDS replica with id {server_id}")
+
+    def _pick(self) -> TdsServer:
+        if self.healthy_count < self.quorum:
+            raise TdsUnavailableError(
+                f"only {self.healthy_count}/{len(self.servers)} TDS replicas "
+                f"up; quorum is {self.quorum}"
+            )
+        # Round-robin over healthy replicas.
+        for _ in range(len(self.servers)):
+            server = self.servers[self._next % len(self.servers)]
+            self._next += 1
+            if server.up:
+                return server
+        raise TdsUnavailableError("no healthy TDS replica found")  # pragma: no cover
+
+    # Queries -------------------------------------------------------------
+    def entry_tasks(self, workflow_type: str) -> Tuple[str, ...]:
+        """First task(s) of a workflow (step 1 of Fig. 1)."""
+        return self._pick().entry_tasks(workflow_type)
+
+    def successors(self, workflow_type: str, task: str) -> Tuple[str, ...]:
+        """Subsequent task(s) after ``task`` completes (step 4 of Fig. 1)."""
+        return self._pick().successors(workflow_type, task)
+
+    def predecessors(self, workflow_type: str, task: str) -> Tuple[str, ...]:
+        """Prerequisite tasks of ``task`` (AND-join synchronisation check)."""
+        return self._pick().predecessors(workflow_type, task)
+
+    def read_distribution(self) -> Dict[int, int]:
+        """Reads served per replica (for load-balance assertions)."""
+        return {s.server_id: s.reads_served for s in self.servers}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskDependencyService(replicas={len(self.servers)}, "
+            f"healthy={self.healthy_count})"
+        )

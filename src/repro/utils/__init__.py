@@ -1,0 +1,23 @@
+"""Shared utilities: seeded RNG streams, validation, running statistics."""
+
+from repro.utils.rng import RngStream, spawn_rngs
+from repro.utils.summary import RunningStats, ewma
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngStream",
+    "spawn_rngs",
+    "RunningStats",
+    "ewma",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

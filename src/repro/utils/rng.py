@@ -1,0 +1,77 @@
+"""Seeded random-number streams.
+
+Every stochastic component of the reproduction (arrival processes, service
+times, network initialisation, exploration noise, ...) draws from its own
+named stream so that experiments are reproducible and components can be
+re-seeded independently.  Streams are derived from a root seed with
+``numpy.random.SeedSequence`` spawning, which guarantees statistical
+independence between streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["RngStream", "spawn_rngs"]
+
+
+class RngStream:
+    """A named, independently seeded random generator.
+
+    Thin wrapper around :class:`numpy.random.Generator` that remembers its
+    name and seed sequence so it can be re-created (``fork``) or reported in
+    experiment logs.
+    """
+
+    def __init__(self, name: str, seed_sequence: np.random.SeedSequence):
+        self.name = name
+        self._seed_sequence = seed_sequence
+        self.generator = np.random.default_rng(seed_sequence)
+
+    def fork(self, label: str) -> "RngStream":
+        """Derive a child stream that is independent of this one."""
+        (child,) = self._seed_sequence.spawn(1)
+        return RngStream(f"{self.name}/{label}", child)
+
+    # Convenience passthroughs ------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        return self.generator.uniform(low, high, size)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        return self.generator.normal(loc, scale, size)
+
+    def exponential(self, scale: float = 1.0, size=None):
+        return self.generator.exponential(scale, size)
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0, size=None):
+        return self.generator.lognormal(mean, sigma, size)
+
+    def poisson(self, lam: float = 1.0, size=None):
+        return self.generator.poisson(lam, size)
+
+    def integers(self, low: int, high: int, size=None):
+        return self.generator.integers(low, high, size)
+
+    def choice(self, a, size=None, replace: bool = True, p=None):
+        return self.generator.choice(a, size=size, replace=replace, p=p)
+
+    def shuffle(self, x) -> None:
+        self.generator.shuffle(x)
+
+    def permutation(self, x):
+        return self.generator.permutation(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStream(name={self.name!r})"
+
+
+def spawn_rngs(seed: int, names: Iterable[str]) -> Dict[str, RngStream]:
+    """Create one independent :class:`RngStream` per name from a root seed."""
+    names_list: List[str] = list(names)
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(names_list))
+    return {
+        name: RngStream(name, child) for name, child in zip(names_list, children)
+    }

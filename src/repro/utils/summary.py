@@ -1,0 +1,106 @@
+"""Running statistics helpers for metric collection."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+__all__ = ["RunningStats", "ewma"]
+
+
+class RunningStats:
+    """Numerically stable streaming mean/variance (Welford's algorithm).
+
+    Used by the simulator's metric collectors where storing every sample
+    (e.g. per-task delays across a long run) would be wasteful.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def push(self, value: float) -> None:
+        """Incorporate one sample."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.push(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two summaries (parallel Welford merge) into a new one."""
+        merged = RunningStats()
+        if self.count == 0:
+            merged.count = other.count
+            merged._mean = other._mean
+            merged._m2 = other._m2
+            merged._min, merged._max = other._min, other._max
+            return merged
+        if other.count == 0:
+            merged.count = self.count
+            merged._mean = self._mean
+            merged._m2 = self._m2
+            merged._min, merged._max = self._min, self._max
+            return merged
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        merged.count = total
+        merged._mean = self._mean + delta * other.count / total
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        )
+        merged._min = min(self._min, other._min)  # type: ignore[arg-type]
+        merged._max = max(self._max, other._max)  # type: ignore[arg-type]
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.4g}, "
+            f"std={self.std:.4g})"
+        )
+
+
+def ewma(values: Iterable[float], alpha: float) -> List[float]:
+    """Exponentially weighted moving average of a series.
+
+    ``alpha`` is the smoothing weight of the newest sample; alpha=1 returns
+    the series unchanged.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must lie in (0, 1], got {alpha!r}")
+    out: List[float] = []
+    current: Optional[float] = None
+    for value in values:
+        current = value if current is None else alpha * value + (1 - alpha) * current
+        out.append(current)
+    return out

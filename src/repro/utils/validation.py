@@ -1,0 +1,69 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early with actionable messages instead of letting bad
+configuration propagate into the simulator or the learning code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_type",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    inclusive: Tuple[bool, bool] = (True, True),
+) -> float:
+    """Require ``value`` in the interval [low, high] (bounds per ``inclusive``)."""
+    low_ok = value >= low if inclusive[0] else value > low
+    high_ok = value <= high if inclusive[1] else value < high
+    if not (low_ok and high_ok):
+        lo_b = "[" if inclusive[0] else "("
+        hi_b = "]" if inclusive[1] else ")"
+        raise ValueError(
+            f"{name} must lie in {lo_b}{low}, {high}{hi_b}, got {value!r}"
+        )
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``value`` in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_type(
+    name: str, value: Any, expected: Union[Type, Tuple[Type, ...]]
+) -> Any:
+    """Require ``isinstance(value, expected)``; return value for chaining."""
+    if not isinstance(value, expected):
+        exp = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {exp}, got {type(value).__name__}")
+    return value

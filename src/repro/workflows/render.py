@@ -1,0 +1,82 @@
+"""ASCII rendering of workflow DAGs (Fig. 2-style dependency tables).
+
+No plotting dependencies — the renderer produces layered text diagrams and
+the task-dependency table the paper's Fig. 2 shows, for docs, examples and
+debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workflows.dag import WorkflowEnsemble, WorkflowType
+
+__all__ = ["render_workflow", "render_dependency_table", "render_ensemble"]
+
+
+def _layers(workflow: WorkflowType) -> List[List[str]]:
+    """Topological layering: layer i holds tasks whose longest incoming
+    path has length i."""
+    depth: Dict[str, int] = {}
+    for task in workflow.topological_order():
+        predecessors = workflow.predecessors(task)
+        depth[task] = (
+            0
+            if not predecessors
+            else 1 + max(depth[p] for p in predecessors)
+        )
+    layers: List[List[str]] = [[] for _ in range(max(depth.values()) + 1)]
+    for task in workflow.topological_order():
+        layers[depth[task]].append(task)
+    return layers
+
+
+def render_workflow(workflow: WorkflowType) -> str:
+    """Layered ASCII diagram of one workflow DAG.
+
+    Example output::
+
+        Type3: Ingest
+                 |
+               Preprocess
+                 |
+               Segment | Analyze
+    """
+    lines = []
+    layers = _layers(workflow)
+    for i, layer in enumerate(layers):
+        prefix = f"{workflow.name}: " if i == 0 else " " * (len(workflow.name) + 2)
+        lines.append(prefix + " | ".join(layer))
+        if i < len(layers) - 1:
+            lines.append(" " * (len(workflow.name) + 2) + "v")
+    return "\n".join(lines)
+
+
+def render_dependency_table(workflow: WorkflowType) -> str:
+    """The paper's Fig. 2 shape: one row per task with its successors."""
+    rows = []
+    header = f"workflow {workflow.name}"
+    rows.append(header)
+    rows.append("-" * len(header))
+    for task in workflow.topological_order():
+        successors = workflow.successors(task)
+        target = ", ".join(successors) if successors else "(done)"
+        rows.append(f"  {task} -> {target}")
+    return "\n".join(rows)
+
+
+def render_ensemble(ensemble: WorkflowEnsemble) -> str:
+    """Summary of every workflow in an ensemble plus the shared task pool."""
+    sections = [
+        f"ensemble {ensemble.name}: J={ensemble.num_task_types} task types, "
+        f"N={ensemble.num_workflow_types} workflow types",
+        "task types: "
+        + ", ".join(
+            f"{t.name}({t.mean_service_time:g}s)" for t in ensemble.task_types
+        ),
+        "",
+    ]
+    for workflow in ensemble.workflow_types:
+        sections.append(render_dependency_table(workflow))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,39 @@
+"""Workload generation: arrival processes, burst scenarios, traces.
+
+"We use Poisson process to emulate request traces for both workflow
+datasets" (Section VI-A1) and "generate bursts of workflow requests"
+(Section VI-D).  This package provides both, plus a Markov-modulated
+process for the dynamic-workload stress the paper's introduction motivates,
+and record/replay traces so every algorithm in a comparison sees the exact
+same arrivals.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivalProcess,
+    ModulatedPoissonArrivalProcess,
+    PoissonArrivalProcess,
+    TraceArrivalProcess,
+)
+from repro.workload.bursts import (
+    BurstScenario,
+    LIGO_BACKGROUND_RATES,
+    LIGO_BURSTS,
+    MSD_BACKGROUND_RATES,
+    MSD_BURSTS,
+)
+from repro.workload.trace import ArrivalTrace
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivalProcess",
+    "DeterministicArrivalProcess",
+    "ModulatedPoissonArrivalProcess",
+    "TraceArrivalProcess",
+    "ArrivalTrace",
+    "BurstScenario",
+    "MSD_BURSTS",
+    "LIGO_BURSTS",
+    "MSD_BACKGROUND_RATES",
+    "LIGO_BACKGROUND_RATES",
+]

@@ -1,0 +1,102 @@
+"""Arrival-trace record and replay."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Mapping, Tuple, Union
+
+from repro.utils.rng import RngStream
+
+__all__ = ["ArrivalTrace"]
+
+
+@dataclass
+class ArrivalTrace:
+    """A time-ordered sequence of (arrival_time, workflow_type) events."""
+
+    events: List[Tuple[float, str]] = field(default_factory=list)
+
+    def __post_init__(self):
+        last = -1.0
+        for time, workflow_type in self.events:
+            if time < 0:
+                raise ValueError(f"negative arrival time {time!r}")
+            if time < last:
+                raise ValueError("trace events must be time-ordered")
+            if not workflow_type:
+                raise ValueError("workflow type must be non-empty")
+            last = time
+
+    @classmethod
+    def poisson(
+        cls,
+        rates: Mapping[str, float],
+        horizon: float,
+        rng: RngStream,
+    ) -> "ArrivalTrace":
+        """Pre-sample a Poisson trace over ``[0, horizon)``.
+
+        Unlike the live :class:`PoissonArrivalProcess`, the trace is fixed
+        up-front, so competing allocators can be evaluated on identical
+        arrivals.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon!r}")
+        events: List[Tuple[float, str]] = []
+        for workflow_type, rate in rates.items():
+            if rate < 0:
+                raise ValueError(f"rate for {workflow_type!r} must be >= 0")
+            if rate == 0:
+                continue
+            t = 0.0
+            stream = rng.fork(f"trace/{workflow_type}")
+            while True:
+                t += float(stream.exponential(1.0 / rate))
+                if t >= horizon:
+                    break
+                events.append((t, workflow_type))
+        events.sort(key=lambda e: e[0])
+        return cls(events)
+
+    def counts(self) -> Mapping[str, int]:
+        """Total arrivals per workflow type."""
+        out: dict = {}
+        for _, workflow_type in self.events:
+            out[workflow_type] = out.get(workflow_type, 0) + 1
+        return out
+
+    @property
+    def horizon(self) -> float:
+        """Timestamp of the last event (0.0 for an empty trace)."""
+        return self.events[-1][0] if self.events else 0.0
+
+    def shifted(self, offset: float) -> "ArrivalTrace":
+        """A copy with every timestamp moved by ``offset`` (>= 0 result)."""
+        events = [(t + offset, wt) for t, wt in self.events]
+        return ArrivalTrace(events)
+
+    # Persistence -----------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON lines."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for time, workflow_type in self.events:
+                handle.write(json.dumps({"t": time, "wf": workflow_type}) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ArrivalTrace":
+        """Read a trace written by :meth:`save`."""
+        events: List[Tuple[float, str]] = []
+        with Path(path).open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                events.append((float(record["t"]), str(record["wf"])))
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,72 @@
+"""Property-based tests of the queueing-theory kernels used by DRS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.drs import erlang_c, mmc_expected_number
+
+
+class TestErlangCProperties:
+    @given(
+        servers=st.integers(1, 50),
+        load_fraction=st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_is_a_probability(self, servers, load_fraction):
+        offered = servers * load_fraction
+        value = erlang_c(servers, offered)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        servers=st.integers(1, 30),
+        load_fraction=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_decreasing_in_servers(self, servers, load_fraction):
+        offered = servers * load_fraction
+        more_servers = erlang_c(servers + 1, offered)
+        fewer_servers = erlang_c(servers, offered)
+        assert more_servers <= fewer_servers + 1e-12
+
+    @given(
+        servers=st.integers(1, 30),
+        low=st.floats(0.05, 0.45),
+        delta=st.floats(0.01, 0.45),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_increasing_in_load(self, servers, low, delta):
+        a1 = servers * low
+        a2 = servers * (low + delta)
+        assert erlang_c(servers, a1) <= erlang_c(servers, a2) + 1e-12
+
+    def test_mm1_closed_form(self):
+        # M/M/1: C(1, rho) = rho for rho in (0, 1).
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+
+class TestExpectedNumberProperties:
+    @given(
+        servers=st.integers(1, 30),
+        load_fraction=st.floats(0.05, 0.9),
+        service_rate=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_at_least_the_offered_load(self, servers, load_fraction, service_rate):
+        """E[N] >= a: in-service population alone equals the offered load."""
+        arrival = servers * load_fraction * service_rate
+        offered = arrival / service_rate
+        value = mmc_expected_number(arrival, service_rate, servers)
+        assert value >= offered - 1e-9
+
+    @given(
+        servers=st.integers(1, 20),
+        load_fraction=st.floats(0.1, 0.85),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_decreasing_in_servers(self, servers, load_fraction):
+        arrival = servers * load_fraction  # mu = 1
+        with_more = mmc_expected_number(arrival, 1.0, servers + 1)
+        with_fewer = mmc_expected_number(arrival, 1.0, servers)
+        assert with_more <= with_fewer + 1e-9

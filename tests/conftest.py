@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sim.env import MicroserviceEnv
+from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
+from repro.utils.rng import RngStream
+from repro.workflows import build_ligo_ensemble, build_msd_ensemble
+from repro.workload import (
+    LIGO_BACKGROUND_RATES,
+    MSD_BACKGROUND_RATES,
+    PoissonArrivalProcess,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG stream for tests."""
+    return RngStream("test", np.random.SeedSequence(12345))
+
+
+@pytest.fixture
+def msd_ensemble():
+    return build_msd_ensemble()
+
+
+@pytest.fixture
+def ligo_ensemble():
+    return build_ligo_ensemble()
+
+
+def make_msd_env(seed=0, consumer_budget=14, with_arrivals=True, **config_kwargs):
+    """Helper: a full MSD environment with background workload."""
+    system = MicroserviceWorkflowSystem(
+        build_msd_ensemble(),
+        SystemConfig(consumer_budget=consumer_budget, **config_kwargs),
+        seed=seed,
+    )
+    if with_arrivals:
+        PoissonArrivalProcess(MSD_BACKGROUND_RATES).attach(system)
+    return MicroserviceEnv(system)
+
+
+def make_ligo_env(seed=0, consumer_budget=30, with_arrivals=True, **config_kwargs):
+    """Helper: a full LIGO environment with background workload."""
+    system = MicroserviceWorkflowSystem(
+        build_ligo_ensemble(),
+        SystemConfig(consumer_budget=consumer_budget, **config_kwargs),
+        seed=seed,
+    )
+    if with_arrivals:
+        PoissonArrivalProcess(LIGO_BACKGROUND_RATES).attach(system)
+    return MicroserviceEnv(system)
+
+
+@pytest.fixture
+def msd_env():
+    return make_msd_env()
+
+
+@pytest.fixture
+def ligo_env():
+    return make_ligo_env()

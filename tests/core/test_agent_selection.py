@@ -1,0 +1,110 @@
+"""Tests for best-policy keeping and burst-aligned evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import MirasAgent
+from repro.core.config import MirasConfig, ModelConfig, PolicyConfig
+from repro.rl.ddpg import DDPGConfig
+
+from tests.conftest import make_msd_env
+
+
+def config(**overrides):
+    defaults = dict(
+        model=ModelConfig(hidden_sizes=(8,), epochs=3),
+        policy=PolicyConfig(
+            ddpg=DDPGConfig(hidden_sizes=(16,), batch_size=8),
+            rollout_length=4,
+            rollouts_per_iteration=2,
+            patience=2,
+        ),
+        steps_per_iteration=20,
+        reset_interval=10,
+        iterations=2,
+        eval_steps=3,
+    )
+    defaults.update(overrides)
+    return MirasConfig(**defaults)
+
+
+class TestKeepBestPolicy:
+    def test_snapshot_restore_roundtrip(self):
+        agent = MirasAgent(make_msd_env(seed=61), config(), seed=61)
+        agent.iterate(iterations=1)
+        snapshot = agent._snapshot_policy()
+        state = np.array([5.0, 3.0, 2.0, 1.0])
+        before = agent.ddpg.act_greedy(state).copy()
+        # Corrupt the policy, then restore.
+        agent.ddpg.actor.network.set_flat(
+            agent.ddpg.actor.network.get_flat() * 0.0
+        )
+        assert not np.allclose(agent.ddpg.act_greedy(state), before)
+        agent._restore_policy(snapshot)
+        assert np.allclose(agent.ddpg.act_greedy(state), before)
+
+    def test_best_policy_kept_across_iterations(self):
+        agent = MirasAgent(
+            make_msd_env(seed=62), config(keep_best_policy=True), seed=62
+        )
+        agent.iterate()
+        # The restored policy's evaluation matches the best iteration
+        # at least approximately: re-evaluating is stochastic, so we only
+        # check that iterate() completed with the flag on and recorded
+        # every iteration.
+        assert len(agent.results) == 2
+
+    def test_flag_off_keeps_last_policy(self):
+        agent = MirasAgent(
+            make_msd_env(seed=63), config(keep_best_policy=False), seed=63
+        )
+        agent.iterate()
+        assert len(agent.results) == 2
+
+
+class TestTargetEvalReward:
+    def test_early_stop_when_target_reached(self):
+        # Any policy trivially reaches a hugely negative target.
+        agent = MirasAgent(
+            make_msd_env(seed=65),
+            config(target_eval_reward=-1e9, iterations=3),
+            seed=65,
+        )
+        agent.iterate()
+        assert len(agent.results) == 1  # stopped after the first iteration
+
+    def test_unreachable_target_runs_all_iterations(self):
+        agent = MirasAgent(
+            make_msd_env(seed=66),
+            config(target_eval_reward=1e9, iterations=2),
+            seed=66,
+        )
+        agent.iterate()
+        assert len(agent.results) == 2
+
+
+class TestEvalBurst:
+    def test_burst_eval_sees_higher_wip(self):
+        env = make_msd_env(seed=64)
+        agent = MirasAgent(
+            env, config(eval_burst_scale=20.0, iterations=1), seed=64
+        )
+        agent.collect_real_interactions(20, random_fraction=1.0)
+        agent.train_model()
+        result = agent.evaluate(steps=3)
+        # A 20 * 14 = 280-request burst must dominate the reward.
+        assert result.eval_reward < -100
+
+    def test_no_burst_eval_stays_light(self):
+        env = make_msd_env(seed=64)
+        agent = MirasAgent(
+            env, config(eval_burst_scale=0.0, iterations=1), seed=64
+        )
+        agent.collect_real_interactions(20, random_fraction=1.0)
+        agent.train_model()
+        result = agent.evaluate(steps=3)
+        assert result.eval_reward > -150
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            config(eval_burst_scale=-1.0)

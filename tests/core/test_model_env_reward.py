@@ -1,0 +1,99 @@
+"""Tests for the model-backed environment and reward functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TransitionDataset
+from repro.core.environment_model import EnvironmentModel
+from repro.core.model_env import ModelEnv
+from repro.core.reward import cumulative_discounted_reward, reward_eq1
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def model_env(rng):
+    dataset = TransitionDataset(2, 2)
+    data_rng = np.random.default_rng(3)
+    for _ in range(100):
+        w = data_rng.uniform(0, 30, 2)
+        m = data_rng.uniform(0, 5, 2)
+        dataset.add(w, m, np.maximum(w + 1.0 - 2.0 * m, 0.0))
+    model = EnvironmentModel(2, 2, hidden_sizes=(16,), rng=rng.fork("m"))
+    model.fit(dataset, epochs=20)
+    return ModelEnv(model, dataset, consumer_budget=10, rollout_length=5, rng=rng)
+
+
+class TestRewardFunctions:
+    def test_eq1_value(self):
+        assert reward_eq1(np.array([2.0, 3.0])) == pytest.approx(-4.0)
+
+    def test_eq1_empty_system(self):
+        assert reward_eq1(np.zeros(3)) == pytest.approx(1.0)
+
+    def test_eq1_rejects_negative_wip(self):
+        with pytest.raises(ValueError):
+            reward_eq1(np.array([-1.0]))
+
+    def test_cumulative_discounted(self):
+        assert cumulative_discounted_reward([1.0, 1.0, 1.0], 0.5) == pytest.approx(
+            1.75
+        )
+
+    def test_cumulative_gamma_zero_is_first_reward(self):
+        assert cumulative_discounted_reward([3.0, 99.0], 0.0) == 3.0
+
+    def test_cumulative_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            cumulative_discounted_reward([1.0], 1.5)
+
+
+class TestModelEnv:
+    def test_reset_samples_dataset_state(self, model_env):
+        state = model_env.reset()
+        assert state.shape == (2,)
+        assert np.all(state >= 0)
+
+    def test_reset_with_explicit_state(self, model_env):
+        state = model_env.reset(np.array([7.0, 3.0]))
+        assert np.array_equal(state, [7.0, 3.0])
+
+    def test_step_before_reset_raises(self, model_env):
+        with pytest.raises(RuntimeError, match="reset"):
+            model_env.step(np.array([1.0, 1.0]))
+
+    def test_step_returns_reward_consistent_with_eq1(self, model_env):
+        model_env.reset(np.array([10.0, 10.0]))
+        next_state, reward, done = model_env.step(np.array([2.0, 2.0]))
+        assert reward == pytest.approx(reward_eq1(next_state))
+        assert not done
+
+    def test_done_after_rollout_length(self, model_env):
+        model_env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done = model_env.step(np.array([2.0, 2.0]))
+            steps += 1
+        assert steps == 5
+
+    def test_budget_enforced(self, model_env):
+        model_env.reset()
+        with pytest.raises(ValueError, match="budget"):
+            model_env.step(np.array([8.0, 8.0]))
+
+    def test_simplex_step(self, model_env):
+        model_env.reset()
+        next_state, reward, done = model_env.step_simplex(np.array([0.5, 0.5]))
+        assert next_state.shape == (2,)
+
+    def test_allocation_from_simplex(self, model_env):
+        allocation = model_env.allocation_from_simplex(np.array([0.7, 0.3]))
+        assert allocation.tolist() == [7, 3]
+        with pytest.raises(ValueError):
+            model_env.allocation_from_simplex(np.array([0.7, 0.7]))
+
+    def test_states_never_negative(self, model_env):
+        model_env.reset(np.array([0.0, 0.0]))
+        for _ in range(5):
+            state, _, _ = model_env.step(np.array([5.0, 5.0]))
+            assert np.all(state >= 0)

@@ -1,0 +1,146 @@
+"""Tests for capacity planning and multi-seed replication."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.capacity import (
+    expected_steady_state_wip,
+    minimum_stable_allocation,
+    per_task_arrival_rates,
+    recommended_budget,
+)
+from repro.eval.replication import ReplicatedComparison, replicate_comparison
+from repro.eval.runner import EvalResult, StepRecord
+from repro.workflows import build_ligo_ensemble, build_msd_ensemble
+from repro.workload.bursts import LIGO_BACKGROUND_RATES, MSD_BACKGROUND_RATES
+
+
+class TestPerTaskRates:
+    def test_shared_tasks_sum_rates(self):
+        ensemble = build_msd_ensemble()
+        rates = per_task_arrival_rates(
+            ensemble, {"Type1": 0.1, "Type2": 0.2, "Type3": 0.3}
+        )
+        # Ingest and Preprocess are in all three workflows.
+        assert rates["Ingest"] == pytest.approx(0.6)
+        assert rates["Preprocess"] == pytest.approx(0.6)
+        # Segment only in Type1 and Type3.
+        assert rates["Segment"] == pytest.approx(0.4)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            per_task_arrival_rates(build_msd_ensemble(), {"Type1": -1.0})
+
+
+class TestMinimumStableAllocation:
+    def test_stability_rule(self):
+        ensemble = build_msd_ensemble()
+        allocation = minimum_stable_allocation(
+            ensemble, MSD_BACKGROUND_RATES
+        )
+        rates = per_task_arrival_rates(ensemble, MSD_BACKGROUND_RATES)
+        for task_type in ensemble.task_types:
+            offered = rates[task_type.name] * task_type.mean_service_time
+            assert allocation[task_type.name] > offered  # rho < 1
+
+    def test_paper_budgets_are_in_the_headroom_regime(self):
+        """C=14 (MSD) and C=30 (LIGO) should correspond to a modest
+        headroom multiple over bare stability — the paper's 'tight but
+        feasible' constraint."""
+        msd_min = sum(
+            minimum_stable_allocation(
+                build_msd_ensemble(), MSD_BACKGROUND_RATES
+            ).values()
+        )
+        ligo_min = sum(
+            minimum_stable_allocation(
+                build_ligo_ensemble(), LIGO_BACKGROUND_RATES
+            ).values()
+        )
+        assert msd_min <= 14 <= 4 * msd_min
+        assert ligo_min <= 30 <= 4 * ligo_min
+
+    def test_recommended_budget_monotone_in_headroom(self):
+        ensemble = build_msd_ensemble()
+        low = recommended_budget(ensemble, MSD_BACKGROUND_RATES, headroom=1.0)
+        high = recommended_budget(ensemble, MSD_BACKGROUND_RATES, headroom=2.0)
+        assert high >= low
+
+    def test_invalid_headroom(self):
+        with pytest.raises(ValueError):
+            recommended_budget(build_msd_ensemble(), {}, headroom=0.5)
+
+
+class TestExpectedWip:
+    def test_stable_allocation_finite(self):
+        ensemble = build_msd_ensemble()
+        allocation = minimum_stable_allocation(ensemble, MSD_BACKGROUND_RATES)
+        wip = expected_steady_state_wip(
+            ensemble, MSD_BACKGROUND_RATES, allocation
+        )
+        assert all(math.isfinite(v) for v in wip.values())
+        assert all(v >= 0 for v in wip.values())
+
+    def test_zero_allocation_with_traffic_is_infinite(self):
+        ensemble = build_msd_ensemble()
+        wip = expected_steady_state_wip(
+            ensemble,
+            MSD_BACKGROUND_RATES,
+            {name: 0 for name in ensemble.task_names()},
+        )
+        assert wip["Ingest"] == math.inf
+
+    def test_more_servers_less_wip(self):
+        ensemble = build_msd_ensemble()
+        small = expected_steady_state_wip(
+            ensemble, MSD_BACKGROUND_RATES,
+            {n: 2 for n in ensemble.task_names()},
+        )
+        large = expected_steady_state_wip(
+            ensemble, MSD_BACKGROUND_RATES,
+            {n: 6 for n in ensemble.task_names()},
+        )
+        for name in ensemble.task_names():
+            assert large[name] <= small[name]
+
+
+def fake_result(value):
+    result = EvalResult("x", "s")
+    result.records = [
+        StepRecord(0, 0.0, value, 0.0, 0, np.zeros(1)),
+    ]
+    return result
+
+
+class TestReplication:
+    def test_aggregates_across_seeds(self):
+        def run(seed):
+            return {"s": {"a": fake_result(-seed), "b": fake_result(-2 * seed)}}
+
+        aggregated = replicate_comparison(run, seeds=[1, 2, 3])
+        assert aggregated.seeds_run() == 3
+        assert aggregated.mean("s", "a") == pytest.approx(-2.0)
+        assert aggregated.mean("s", "b") == pytest.approx(-4.0)
+        assert aggregated.std("s", "a") > 0
+
+    def test_win_counts(self):
+        def run(seed):
+            # "a" wins on every seed (higher reward).
+            return {"s": {"a": fake_result(-1), "b": fake_result(-5)}}
+
+        aggregated = replicate_comparison(run, seeds=[0, 1])
+        assert aggregated.win_counts("s") == {"a": 2, "b": 0}
+
+    def test_summary_rows(self):
+        def run(seed):
+            return {"s": {"a": fake_result(-1.0)}}
+
+        aggregated = replicate_comparison(run, seeds=[0])
+        rows = aggregated.summary_rows()
+        assert rows == [["s", "a", -1.0, 0.0]]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_comparison(lambda s: {}, seeds=[])

@@ -1,0 +1,36 @@
+"""Tests for CSV series export."""
+
+import csv
+
+import pytest
+
+from repro.eval.reporting import write_series_csv
+
+
+class TestWriteSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "series.csv",
+            {"a": [1.0, 2.0], "b": [3.0, 4.0]},
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["step", "a", "b"]
+        assert rows[1] == ["0", "1.0", "3.0"]
+        assert rows[2] == ["1", "2.0", "4.0"]
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "x.csv", {"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "x.csv", {})
+
+    def test_custom_index_name(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "s.csv", {"x": [0.5]}, index_name="iteration"
+        )
+        with path.open() as handle:
+            header = handle.readline().strip()
+        assert header == "iteration,x"

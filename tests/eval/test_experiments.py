@@ -1,0 +1,104 @@
+"""Tests for the per-figure experiment harness (tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MirasConfig, ModelConfig, PolicyConfig
+from repro.eval.experiments import (
+    ablation_refinement,
+    ablation_window_length,
+    dataset_preset,
+    experiment_fig5_model_accuracy,
+    experiment_fig6_training_trace,
+)
+from repro.rl.ddpg import DDPGConfig
+
+
+def tiny_miras_config():
+    return MirasConfig(
+        model=ModelConfig(hidden_sizes=(8, 8), epochs=5),
+        policy=PolicyConfig(
+            ddpg=DDPGConfig(hidden_sizes=(16, 16), batch_size=8),
+            rollout_length=5,
+            rollouts_per_iteration=3,
+            patience=2,
+        ),
+        steps_per_iteration=25,
+        reset_interval=25,
+        iterations=2,
+        eval_steps=4,
+    )
+
+
+class TestPresets:
+    def test_msd_preset(self):
+        preset = dataset_preset("msd")
+        assert preset["budget"] == 14
+        assert len(preset["bursts"]) == 3
+
+    def test_ligo_preset(self):
+        preset = dataset_preset("ligo")
+        assert preset["budget"] == 30
+        assert preset["model_hidden"] == (20,)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_preset("hpc")
+
+
+class TestFig5:
+    def test_result_structure_and_shapes(self):
+        result = experiment_fig5_model_accuracy(
+            "msd", collect_steps=80, test_steps=20, model_epochs=10, seed=5
+        )
+        assert result.dataset == "msd"
+        for series in (
+            result.ground_truth_reward,
+            result.fixed_reward,
+            result.iterative_reward,
+            result.ground_truth_w0,
+            result.fixed_w0,
+            result.iterative_w0,
+        ):
+            assert series.shape == (20,)
+            assert np.all(np.isfinite(series))
+
+    def test_rmse_metrics_finite(self):
+        result = experiment_fig5_model_accuracy(
+            "msd", collect_steps=80, test_steps=20, model_epochs=10, seed=5
+        )
+        assert np.isfinite(result.rmse_fixed_reward)
+        assert np.isfinite(result.rmse_iterative_reward)
+        assert np.isfinite(result.correlation_fixed_reward())
+
+
+class TestFig6:
+    def test_trace_has_one_entry_per_iteration(self):
+        results = experiment_fig6_training_trace(
+            "msd", config=tiny_miras_config(), seed=6
+        )
+        assert len(results) == 2
+        assert all(np.isfinite(r.eval_reward) for r in results)
+
+
+class TestAblations:
+    def test_refinement_ablation_keys(self):
+        out = ablation_refinement(
+            "msd", collect_steps=80, test_steps=40, seed=7
+        )
+        assert {
+            "boundary_rmse_raw",
+            "boundary_rmse_refined",
+            "interior_rmse_raw",
+            "interior_rmse_refined",
+        } <= set(out)
+
+    def test_window_length_ablation(self):
+        out = ablation_window_length(
+            "msd", window_lengths=(15.0, 30.0), steps_at_30s=4, seed=8
+        )
+        assert set(out) == {15.0, 30.0}
+        for stats in out.values():
+            assert stats["mean_response_time"] >= 0
+            # Same simulated time: fewer steps with longer windows.
+        assert out[15.0]["steps"] == 2 * out[30.0]["steps"]

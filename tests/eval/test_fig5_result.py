@@ -1,0 +1,47 @@
+"""Unit tests for the Fig. 5 result container's metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import Fig5Result
+
+
+def make_result(truth, fixed, iterative):
+    truth = np.asarray(truth, dtype=np.float64)
+    fixed = np.asarray(fixed, dtype=np.float64)
+    iterative = np.asarray(iterative, dtype=np.float64)
+    return Fig5Result(
+        dataset="msd",
+        ground_truth_reward=truth,
+        fixed_reward=fixed,
+        iterative_reward=iterative,
+        ground_truth_w0=truth,
+        fixed_w0=fixed,
+        iterative_w0=iterative,
+    )
+
+
+class TestRmse:
+    def test_zero_when_identical(self):
+        result = make_result([1, 2, 3], [1, 2, 3], [1, 2, 3])
+        assert result.rmse_fixed_reward == 0.0
+        assert result.rmse_iterative_reward == 0.0
+
+    def test_known_value(self):
+        result = make_result([0, 0], [3, 4], [0, 0])
+        assert result.rmse_fixed_reward == pytest.approx(np.sqrt(12.5))
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        result = make_result([1, 2, 3], [2, 4, 6], [1, 2, 3])
+        assert result.correlation_fixed_reward() == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        result = make_result([1, 2, 3], [3, 2, 1], [1, 2, 3])
+        assert result.correlation_fixed_reward() == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        result = make_result([1, 2, 3], [5, 5, 5], [5, 5, 5])
+        assert result.correlation_fixed_reward() == 0.0
+        assert result.correlation_iterative_reward() == 0.0

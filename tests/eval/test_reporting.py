@@ -1,0 +1,67 @@
+"""Tests for ASCII reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    format_comparison,
+    format_series_table,
+    format_table,
+)
+from repro.eval.runner import EvalResult, StepRecord
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = table.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-+-" in lines[1]
+        assert "2.50" in lines[2]
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeriesTable:
+    def test_columns_per_series(self):
+        table = format_series_table({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        lines = table.splitlines()
+        assert "step" in lines[0]
+        assert "x" in lines[0] and "y" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            format_series_table({"x": [1.0], "y": [1.0, 2.0]})
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            format_series_table({})
+
+
+class TestFormatComparison:
+    def _result(self, reward):
+        result = EvalResult("a", "s")
+        result.records = [
+            StepRecord(0, 1.0, reward, 0.0, 0, np.zeros(2)),
+        ]
+        return result
+
+    def test_metric_extraction(self):
+        results = {
+            "scenario1": {"algo1": self._result(-5.0), "algo2": self._result(-7.0)}
+        }
+        table = format_comparison(results, metric="aggregated_reward")
+        assert "-5.00" in table
+        assert "-7.00" in table
+        assert "scenario1" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_comparison({})

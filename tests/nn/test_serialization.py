@@ -1,0 +1,50 @@
+"""Tests for MLP save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.nn.serialization import load_mlp, save_mlp
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def ser_rng():
+    return RngStream("ser", np.random.SeedSequence(4))
+
+
+class TestRoundtrip:
+    def test_plain_network(self, tmp_path, ser_rng):
+        net = MLP([3, 16, 2], rng=ser_rng)
+        path = save_mlp(tmp_path / "net", net)
+        loaded = load_mlp(path)
+        x = ser_rng.normal(size=(5, 3))
+        assert np.allclose(loaded.forward(x), net.forward(x))
+
+    def test_softmax_network(self, tmp_path, ser_rng):
+        net = MLP(
+            [4, 8, 4], output_activation="softmax", rng=ser_rng
+        )
+        loaded = load_mlp(save_mlp(tmp_path / "actor", net))
+        assert loaded.output_activation == "softmax"
+        x = ser_rng.uniform(size=(3, 4))
+        assert np.allclose(loaded.forward(x), net.forward(x))
+
+    def test_aux_network(self, tmp_path, ser_rng):
+        net = MLP([4, 8, 1], aux_dim=2, aux_layer=1, rng=ser_rng)
+        loaded = load_mlp(save_mlp(tmp_path / "critic", net))
+        x = ser_rng.normal(size=(3, 4))
+        aux = ser_rng.normal(size=(3, 2))
+        assert np.allclose(loaded.forward(x, aux), net.forward(x, aux))
+
+    def test_npz_suffix_added(self, tmp_path, ser_rng):
+        net = MLP([2, 4, 1], rng=ser_rng)
+        path = save_mlp(tmp_path / "model", net)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_non_mlp_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="not a saved MLP"):
+            load_mlp(path)

@@ -1,0 +1,102 @@
+"""Direct tests of the workflow invoker's routing logic."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.invoker import WorkflowInvoker
+from repro.sim.queueing import AckQueue
+from repro.sim.requests import TaskRequest
+from repro.sim.tds import TaskDependencyService
+from repro.workflows.dag import TaskType, WorkflowEnsemble, WorkflowType
+
+
+def build_invoker(edges, tasks=()):
+    names = set(tasks)
+    for up, down in edges:
+        names.add(up)
+        names.add(down)
+    ensemble = WorkflowEnsemble(
+        "T",
+        [TaskType(n, 1.0) for n in sorted(names)],
+        [WorkflowType("W", edges=edges, tasks=tasks)],
+    )
+    loop = EventLoop()
+    queues = {n: AckQueue(n) for n in ensemble.task_names()}
+    completed = []
+    invoker = WorkflowInvoker(
+        loop,
+        TaskDependencyService(ensemble),
+        queues,
+        on_workflow_complete=completed.append,
+    )
+    return loop, invoker, queues, completed
+
+
+def finish(invoker, queue, now=0.0):
+    """Consume + complete the next task in a queue."""
+    tag, request = queue.consume()
+    queue.ack(tag)
+    invoker.handle_task_completion(request, now)
+    return request
+
+
+class TestRouting:
+    def test_entry_task_published_on_submit(self):
+        loop, invoker, queues, _ = build_invoker([("A", "B")])
+        invoker.submit("W")
+        assert queues["A"].depth == 1
+        assert queues["B"].depth == 0
+
+    def test_successor_published_after_completion(self):
+        loop, invoker, queues, _ = build_invoker([("A", "B")])
+        invoker.submit("W")
+        finish(invoker, queues["A"])
+        assert queues["B"].depth == 1
+
+    def test_and_join_waits_for_all_predecessors(self):
+        loop, invoker, queues, _ = build_invoker(
+            [("A", "C"), ("B", "C")], tasks=("A", "B", "C")
+        )
+        invoker.submit("W")
+        finish(invoker, queues["A"])
+        assert queues["C"].depth == 0  # B not done yet
+        finish(invoker, queues["B"])
+        assert queues["C"].depth == 1
+
+    def test_fork_publishes_all_branches(self):
+        loop, invoker, queues, _ = build_invoker([("A", "B"), ("A", "C")])
+        invoker.submit("W")
+        finish(invoker, queues["A"])
+        assert queues["B"].depth == 1
+        assert queues["C"].depth == 1
+
+    def test_completion_callback_and_time(self):
+        loop, invoker, queues, completed = build_invoker([("A", "B")])
+        request = invoker.submit("W")
+        finish(invoker, queues["A"], now=5.0)
+        finish(invoker, queues["B"], now=12.0)
+        assert completed == [request]
+        assert request.completion_time == 12.0
+        assert request.response_time() == 12.0
+        assert invoker.completed_total == 1
+
+    def test_double_completion_raises(self):
+        loop, invoker, queues, _ = build_invoker([("A", "B")])
+        invoker.submit("W")
+        request = finish(invoker, queues["A"])
+        with pytest.raises(RuntimeError, match="completed twice"):
+            invoker.handle_task_completion(request, 1.0)
+
+    def test_unknown_queue_raises(self):
+        loop, invoker, queues, _ = build_invoker([("A", "B")])
+        del queues["A"]
+        with pytest.raises(KeyError, match="no queue"):
+            invoker.submit("W")
+
+    def test_multi_entry_workflow(self):
+        loop, invoker, queues, _ = build_invoker(
+            [("A", "C"), ("B", "C")], tasks=("A", "B", "C")
+        )
+        invoker.submit("W")
+        assert queues["A"].depth == 1
+        assert queues["B"].depth == 1

@@ -1,0 +1,203 @@
+"""Tests for the microservice consumer pool: scaling, processing, draining."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.consumer import ConsumerState, sample_service_time
+from repro.sim.events import EventLoop
+from repro.sim.microservice import Microservice
+from repro.sim.requests import TaskRequest, WorkflowRequest
+from repro.utils.rng import RngStream
+from repro.workflows.dag import TaskType
+
+
+def build(
+    mean=2.0,
+    cv=0.0,
+    startup=(0.0, 0.0),
+    scale_down_mode="drain",
+    capacity=50,
+    seed=5,
+):
+    loop = EventLoop()
+    cluster = Cluster(num_nodes=3, node_capacity=capacity)
+    completed = []
+    ms = Microservice(
+        TaskType("A", mean, cv=cv),
+        loop=loop,
+        cluster=cluster,
+        rng=RngStream("ms", np.random.SeedSequence(seed)),
+        on_task_complete=lambda req, now: completed.append((req, now)),
+        startup_delay_range=startup,
+        scale_down_mode=scale_down_mode,
+    )
+    return loop, cluster, ms, completed
+
+
+def publish(ms, count=1):
+    requests = []
+    for _ in range(count):
+        wf = WorkflowRequest(workflow_type="W", arrival_time=0.0, total_tasks=1)
+        req = TaskRequest(task_type="A", workflow=wf, published_at=0.0)
+        ms.queue.publish(req)
+        requests.append(req)
+    return requests
+
+
+class TestSampleServiceTime:
+    def test_zero_cv_is_deterministic(self, rng):
+        assert sample_service_time(3.0, 0.0, rng) == 3.0
+
+    def test_mean_is_preserved(self, rng):
+        samples = [sample_service_time(4.0, 0.6, rng) for _ in range(20_000)]
+        assert abs(np.mean(samples) - 4.0) < 0.1
+
+    def test_cv_is_preserved(self, rng):
+        samples = np.array(
+            [sample_service_time(4.0, 0.5, rng) for _ in range(20_000)]
+        )
+        assert abs(samples.std() / samples.mean() - 0.5) < 0.05
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_service_time(0.0, 0.5, rng)
+        with pytest.raises(ValueError):
+            sample_service_time(1.0, -0.5, rng)
+
+
+class TestScaling:
+    def test_scale_up_creates_consumers(self):
+        loop, cluster, ms, _ = build()
+        ms.scale_to(3)
+        assert ms.allocated == 3
+        assert cluster.total_used == 3
+
+    def test_scale_down_removes_consumers(self):
+        loop, cluster, ms, _ = build()
+        ms.scale_to(3)
+        ms.scale_to(1)
+        assert ms.allocated == 1
+        assert cluster.total_used == 1
+
+    def test_scale_to_zero(self):
+        loop, cluster, ms, _ = build()
+        ms.scale_to(2)
+        ms.scale_to(0)
+        assert ms.allocated == 0
+        assert cluster.total_used == 0
+
+    def test_negative_rejected(self):
+        loop, cluster, ms, _ = build()
+        with pytest.raises(ValueError):
+            ms.scale_to(-1)
+
+    def test_startup_delay_gates_processing(self):
+        loop, cluster, ms, completed = build(mean=1.0, startup=(5.0, 5.0))
+        publish(ms, 1)
+        ms.scale_to(1)
+        loop.run_until(4.0)
+        assert not completed  # still starting
+        loop.run_until(6.5)
+        assert len(completed) == 1  # started at 5, processed 1s task
+
+    def test_starting_consumer_cancelled_cleanly(self):
+        loop, cluster, ms, completed = build(mean=1.0, startup=(5.0, 5.0))
+        ms.scale_to(1)
+        ms.scale_to(0)
+        loop.run_until(10.0)
+        assert ms.allocated == 0
+        assert ms.consumers_killed_starting == 1
+        assert cluster.total_used == 0
+
+
+class TestProcessing:
+    def test_tasks_complete_and_ack(self):
+        loop, cluster, ms, completed = build(mean=2.0)
+        requests = publish(ms, 3)
+        ms.scale_to(1)
+        loop.run_until(6.0)
+        assert len(completed) == 3
+        assert [r for r, _ in completed] == requests  # FIFO
+        assert ms.queue.conservation_ok()
+        assert ms.wip == 0
+
+    def test_parallel_consumers_speed_up(self):
+        loop, _, ms, completed = build(mean=2.0)
+        publish(ms, 4)
+        ms.scale_to(4)
+        loop.run_until(2.0)
+        assert len(completed) == 4
+
+    def test_wip_counts_queued_plus_in_service(self):
+        loop, _, ms, _ = build(mean=10.0)
+        publish(ms, 3)
+        ms.scale_to(1)
+        loop.run_until(1.0)
+        assert ms.wip == 3  # 1 in service + 2 queued
+        assert ms.busy_consumers == 1
+
+    def test_idle_consumer_wakes_on_publish(self):
+        loop, _, ms, completed = build(mean=1.0)
+        ms.scale_to(1)
+        loop.run_until(5.0)
+        publish(ms, 1)
+        loop.run_until(6.5)
+        assert len(completed) == 1
+
+
+class TestScaleDownDrain:
+    def test_busy_consumer_finishes_task_then_exits(self):
+        loop, cluster, ms, completed = build(mean=4.0, scale_down_mode="drain")
+        publish(ms, 1)
+        ms.scale_to(1)
+        loop.run_until(1.0)
+        ms.scale_to(0)
+        assert ms.allocated == 0  # leaves the allocation immediately
+        assert cluster.total_used == 1  # still occupies a slot while draining
+        loop.run_until(5.0)
+        assert len(completed) == 1  # task finished, not redelivered
+        assert cluster.total_used == 0
+        assert ms.queue.redelivered_total == 0
+
+    def test_draining_consumer_takes_no_more_work(self):
+        loop, _, ms, completed = build(mean=2.0, scale_down_mode="drain")
+        publish(ms, 2)
+        ms.scale_to(1)
+        loop.run_until(0.5)
+        ms.scale_to(0)
+        loop.run_until(10.0)
+        assert len(completed) == 1  # only the in-flight task
+        assert ms.wip == 1
+
+
+class TestScaleDownKill:
+    def test_busy_consumer_killed_and_task_redelivered(self):
+        loop, cluster, ms, completed = build(mean=4.0, scale_down_mode="kill")
+        (request,) = publish(ms, 1)
+        ms.scale_to(1)
+        loop.run_until(1.0)
+        ms.scale_to(0)
+        assert ms.consumers_killed_busy == 1
+        assert cluster.total_used == 0
+        assert ms.queue.redelivered_total == 1
+        assert request.wasted_work == pytest.approx(1.0)
+        # Another consumer picks the redelivered request up.
+        ms.scale_to(1)
+        loop.run_until(10.0)
+        assert len(completed) == 1
+        assert ms.queue.conservation_ok()
+
+    def test_victim_preference_spares_busy(self):
+        loop, _, ms, _ = build(mean=100.0, scale_down_mode="kill")
+        publish(ms, 1)
+        ms.scale_to(3)  # one busy, two idle
+        loop.run_until(1.0)
+        assert ms.busy_consumers == 1
+        ms.scale_to(1)  # removes the two idle ones
+        assert ms.consumers_killed_busy == 0
+        assert ms.busy_consumers == 1
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="scale_down_mode"):
+            build(scale_down_mode="nuke")

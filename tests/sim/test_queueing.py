@@ -1,0 +1,138 @@
+"""Tests for the ack queue (RabbitMQ-semantics contract)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.queueing import AckQueue, QueueError
+from repro.sim.requests import TaskRequest, WorkflowRequest
+
+
+def make_request(task="A"):
+    wf = WorkflowRequest(workflow_type="W", arrival_time=0.0, total_tasks=1)
+    return TaskRequest(task_type=task, workflow=wf, published_at=0.0)
+
+
+class TestPublishConsume:
+    def test_fifo_order(self):
+        queue = AckQueue("A")
+        first, second = make_request(), make_request()
+        queue.publish(first)
+        queue.publish(second)
+        _, got_first = queue.consume()
+        _, got_second = queue.consume()
+        assert got_first is first
+        assert got_second is second
+
+    def test_consume_empty_returns_none(self):
+        assert AckQueue("A").consume() is None
+
+    def test_wrong_task_type_rejected(self):
+        queue = AckQueue("A")
+        with pytest.raises(QueueError, match="published to"):
+            queue.publish(make_request(task="B"))
+
+    def test_depth_counts_ready_and_unacked(self):
+        queue = AckQueue("A")
+        queue.publish(make_request())
+        queue.publish(make_request())
+        assert queue.depth == 2
+        queue.consume()
+        assert queue.ready_count == 1
+        assert queue.unacked_count == 1
+        assert queue.depth == 2
+
+    def test_deliveries_counted(self):
+        queue = AckQueue("A")
+        request = make_request()
+        queue.publish(request)
+        tag, _ = queue.consume()
+        assert request.deliveries == 1
+        queue.nack(tag)
+        queue.consume()
+        assert request.deliveries == 2
+
+
+class TestAckNack:
+    def test_ack_removes_message(self):
+        queue = AckQueue("A")
+        queue.publish(make_request())
+        tag, _ = queue.consume()
+        queue.ack(tag)
+        assert queue.depth == 0
+        assert queue.acked_total == 1
+
+    def test_double_ack_rejected(self):
+        queue = AckQueue("A")
+        queue.publish(make_request())
+        tag, _ = queue.consume()
+        queue.ack(tag)
+        with pytest.raises(QueueError):
+            queue.ack(tag)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(QueueError):
+            AckQueue("A").ack(99)
+
+    def test_nack_requeues_at_front(self):
+        queue = AckQueue("A")
+        first, second = make_request(), make_request()
+        queue.publish(first)
+        queue.publish(second)
+        tag, _ = queue.consume()
+        queue.nack(tag)
+        _, redelivered = queue.consume()
+        assert redelivered is first  # front of the queue, not the back
+
+    def test_nack_then_ack_of_same_tag_rejected(self):
+        queue = AckQueue("A")
+        queue.publish(make_request())
+        tag, _ = queue.consume()
+        queue.nack(tag)
+        with pytest.raises(QueueError):
+            queue.ack(tag)
+
+
+class TestSubscribers:
+    def test_publish_notifies(self):
+        queue = AckQueue("A")
+        calls = []
+        queue.subscribe(lambda: calls.append("publish"))
+        queue.publish(make_request())
+        assert calls == ["publish"]
+
+    def test_nack_notifies(self):
+        queue = AckQueue("A")
+        calls = []
+        queue.publish(make_request())
+        queue.subscribe(lambda: calls.append("n"))
+        tag, _ = queue.consume()
+        queue.nack(tag)
+        assert calls == ["n"]
+
+
+class TestConservation:
+    """The paper's guarantee: requests never get lost."""
+
+    @given(
+        st.lists(
+            st.sampled_from(["publish", "consume", "ack", "nack"]),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_under_random_protocol(self, operations):
+        queue = AckQueue("A")
+        outstanding_tags = []
+        for op in operations:
+            if op == "publish":
+                queue.publish(make_request())
+            elif op == "consume":
+                item = queue.consume()
+                if item is not None:
+                    outstanding_tags.append(item[0])
+            elif op == "ack" and outstanding_tags:
+                queue.ack(outstanding_tags.pop(0))
+            elif op == "nack" and outstanding_tags:
+                queue.nack(outstanding_tags.pop(0))
+            assert queue.conservation_ok()

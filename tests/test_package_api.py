@@ -1,0 +1,51 @@
+"""Public-API surface tests: everything advertised in __all__ resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.sim",
+    "repro.workflows",
+    "repro.workload",
+    "repro.rl",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_packages_have_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__ and len(package.__doc__.strip()) > 20
+
+
+def test_public_classes_have_docstrings():
+    """Every public class and function exported at package level is
+    documented."""
+    undocumented = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{package_name}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,76 @@
+"""Tests for running statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.summary import RunningStats, ewma
+
+
+class TestRunningStats:
+    def test_empty_stats_are_zero(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_matches_numpy_on_fixed_data(self):
+        data = [1.0, 2.0, 4.0, 8.0, 16.0]
+        stats = RunningStats()
+        stats.extend(data)
+        assert stats.mean == pytest.approx(np.mean(data))
+        assert stats.variance == pytest.approx(np.var(data, ddof=1))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 16.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_welford_matches_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(np.mean(values), abs=1e-6, rel=1e-9)
+        assert stats.variance == pytest.approx(
+            np.var(values, ddof=1), abs=1e-4, rel=1e-6
+        )
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        a = RunningStats()
+        a.extend(left)
+        b = RunningStats()
+        b.extend(right)
+        merged = a.merge(b)
+        combined = RunningStats()
+        combined.extend(left + right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, abs=1e-9, rel=1e-9)
+        assert merged.variance == pytest.approx(
+            combined.variance, abs=1e-6, rel=1e-6
+        )
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        empty = RunningStats()
+        assert a.merge(empty).mean == pytest.approx(1.5)
+        assert empty.merge(a).mean == pytest.approx(1.5)
+
+
+class TestEwma:
+    def test_alpha_one_returns_series(self):
+        assert ewma([1.0, 2.0, 3.0], 1.0) == [1.0, 2.0, 3.0]
+
+    def test_smooths_toward_new_values(self):
+        out = ewma([0.0, 10.0], 0.5)
+        assert out == [0.0, 5.0]
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ewma([1.0], 0.0)
+        with pytest.raises(ValueError):
+            ewma([1.0], 1.5)
+
+    def test_empty_series(self):
+        assert ewma([], 0.3) == []

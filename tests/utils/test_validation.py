@@ -1,0 +1,68 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_accept_endpoints(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=(False, True))
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=(True, False))
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_accepts_half(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("x", 5, int) == 5
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 5.0, (int, float)) == 5.0
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "five", int)

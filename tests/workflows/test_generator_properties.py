@@ -1,0 +1,62 @@
+"""Extra property tests for the random-ensemble generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.rng import RngStream
+from repro.workflows.generator import random_ensemble, random_workflow
+
+
+class TestRandomWorkflowProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        size=st.integers(2, 10),
+        edge_probability=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_always_valid_dag_with_entries_and_exits(
+        self, seed, size, edge_probability
+    ):
+        rng = RngStream("g", np.random.SeedSequence(seed))
+        names = tuple(f"T{i}" for i in range(size))
+        workflow = random_workflow(
+            "W", names, rng, edge_probability=edge_probability
+        )
+        order = workflow.topological_order()  # raises on cycles
+        assert len(order) == workflow.size
+        assert workflow.entry_tasks
+        assert workflow.exit_tasks
+        # Every edge goes forward in the chosen index order.
+        indices = {name: i for i, name in enumerate(names)}
+        for up, down in workflow.edges:
+            assert indices[up] < indices[down]
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_edge_probability_yields_chain_links(self, seed):
+        """With p=0 the connectivity fallback still links isolated tasks."""
+        rng = RngStream("g", np.random.SeedSequence(seed))
+        names = tuple(f"T{i}" for i in range(5))
+        workflow = random_workflow("W", names, rng, edge_probability=0.0)
+        if workflow.size > 1:
+            touched = {t for e in workflow.edges for t in e}
+            isolated = workflow.tasks - touched
+            assert len(isolated) <= 1  # at most the first task in order
+
+
+class TestRandomEnsembleProperties:
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=30, deadline=None)
+    def test_service_times_within_requested_range(self, seed):
+        ensemble = random_ensemble(
+            4, 2, seed=seed, mean_service_range=(2.0, 3.0)
+        )
+        for task_type in ensemble.task_types:
+            assert 2.0 <= task_type.mean_service_time <= 3.0
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            random_ensemble(3, 1, mean_service_range=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            random_ensemble(0, 1)

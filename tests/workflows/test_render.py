@@ -1,0 +1,54 @@
+"""Tests for ASCII DAG rendering."""
+
+import pytest
+
+from repro.workflows import build_msd_ensemble
+from repro.workflows.dag import WorkflowType
+from repro.workflows.render import (
+    render_dependency_table,
+    render_ensemble,
+    render_workflow,
+)
+
+
+class TestRenderWorkflow:
+    def test_chain_layers_in_order(self):
+        workflow = WorkflowType("W", edges=[("A", "B"), ("B", "C")])
+        out = render_workflow(workflow)
+        lines = out.splitlines()
+        assert "W: A" in lines[0]
+        assert out.index("A") < out.index("B") < out.index("C")
+
+    def test_fork_shares_a_layer(self):
+        workflow = WorkflowType("W", edges=[("A", "B"), ("A", "C")])
+        out = render_workflow(workflow)
+        # B and C are both at depth 1 -> same line.
+        layer_line = [l for l in out.splitlines() if "B" in l][0]
+        assert "C" in layer_line
+
+    def test_single_task(self):
+        workflow = WorkflowType("W", edges=[], tasks=["Only"])
+        assert "Only" in render_workflow(workflow)
+
+
+class TestRenderDependencyTable:
+    def test_fig2_shape(self):
+        workflow = WorkflowType("Type1", edges=[("A", "B")])
+        table = render_dependency_table(workflow)
+        assert "workflow Type1" in table
+        assert "A -> B" in table
+        assert "B -> (done)" in table
+
+    def test_multiple_successors_listed(self):
+        workflow = WorkflowType("W", edges=[("A", "B"), ("A", "C")])
+        table = render_dependency_table(workflow)
+        assert "A -> B, C" in table
+
+
+class TestRenderEnsemble:
+    def test_msd_summary(self):
+        out = render_ensemble(build_msd_ensemble())
+        assert "ensemble MSD: J=4 task types, N=3 workflow types" in out
+        for name in ("Type1", "Type2", "Type3"):
+            assert f"workflow {name}" in out
+        assert "Ingest(2s)" in out

@@ -1,0 +1,67 @@
+"""Statistical checks on the Markov-modulated Poisson process."""
+
+import numpy as np
+import pytest
+
+from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
+from repro.workflows import build_msd_ensemble
+from repro.workload import ModulatedPoissonArrivalProcess, PoissonArrivalProcess
+
+
+def submitted_counts(process_factory, horizon, seed, windows=None):
+    system = MicroserviceWorkflowSystem(
+        build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=seed
+    )
+    process = process_factory()
+    process.attach(system)
+    if windows:
+        per_window = []
+        for _ in range(windows):
+            observation = system.run_window()
+            per_window.append(observation.arrivals.get("Type1", 0))
+        return process.submitted, per_window
+    system.loop.run_until(horizon)
+    return process.submitted, None
+
+
+class TestMmppRate:
+    def test_long_run_rate_between_phases(self):
+        low, high = 0.05, 0.5
+        total, _ = submitted_counts(
+            lambda: ModulatedPoissonArrivalProcess(
+                low_rates={"Type1": low},
+                high_rates={"Type1": high},
+                mean_phase_duration=300.0,
+            ),
+            horizon=30_000.0,
+            seed=11,
+        )
+        long_run_rate = total / 30_000.0
+        assert low < long_run_rate < high
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        """Window-count variance of an MMPP exceeds a Poisson process of
+        the same long-run rate (index of dispersion > 1 regime)."""
+        mean_rate = (0.02 + 0.4) / 2
+
+        _, mmpp_windows = submitted_counts(
+            lambda: ModulatedPoissonArrivalProcess(
+                low_rates={"Type1": 0.02},
+                high_rates={"Type1": 0.4},
+                mean_phase_duration=600.0,
+            ),
+            horizon=None,
+            seed=12,
+            windows=300,
+        )
+        _, poisson_windows = submitted_counts(
+            lambda: PoissonArrivalProcess({"Type1": mean_rate}),
+            horizon=None,
+            seed=12,
+            windows=300,
+        )
+        mmpp_dispersion = np.var(mmpp_windows) / max(np.mean(mmpp_windows), 1e-9)
+        poisson_dispersion = np.var(poisson_windows) / max(
+            np.mean(poisson_windows), 1e-9
+        )
+        assert mmpp_dispersion > poisson_dispersion
