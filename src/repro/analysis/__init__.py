@@ -1,0 +1,43 @@
+"""reprolint: static determinism & simulation-invariant analysis.
+
+MIRAS's claims rest on reproducible rollouts: the environment model is
+trained on simulated transitions, so ambient nondeterminism (global RNG,
+wall-clock reads, silently defaulted seeds) corrupts model-accuracy and
+comparison results without failing a single test.  This package walks the
+``src/repro`` tree with :mod:`ast` and rejects that defect class
+statically, before it costs a training run.
+
+Rule families (see ``docs/LINTING.md`` for the full reference):
+
+- **D1** — ambient nondeterminism (D101 stdlib/global-numpy randomness,
+  D102 wall-clock reads),
+- **D2** — silent seed fallbacks (D201 literal ``SeedSequence`` seeds),
+- **S1** — simulation-invariant hygiene (S101 float equality, S102
+  mutable defaults, S103 assert-as-validation),
+- **A1** — public-API consistency in package ``__init__`` files (A101
+  broken exports, A102 missing docstrings, A103 ``__all__`` mismatches).
+
+Run it with ``python -m repro.analysis`` or ``repro lint``.  Findings can
+be suppressed inline with ``# reprolint: disable=RULE`` or ratcheted via a
+baseline file; configuration lives in ``[tool.reprolint]`` in
+pyproject.toml.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import AnalysisResult, run_analysis
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Checker, all_checkers, all_rule_ids
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "Severity",
+    "all_checkers",
+    "all_rule_ids",
+    "load_config",
+    "run_analysis",
+]

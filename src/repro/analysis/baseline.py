@@ -1,0 +1,95 @@
+"""Baseline (ratchet) support.
+
+A baseline waives a known set of pre-existing findings so the linter can
+be adopted on a dirty tree and violations ratcheted down over time: new
+findings always fail, old ones are tolerated until fixed, and
+``--update-baseline`` shrinks the file as the tree gets cleaner.
+
+Entries are keyed by ``(path, rule)`` with a count rather than line
+numbers, so unrelated edits that shift code around do not invalidate the
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Waives up to N findings per (path, rule) pair."""
+
+    def __init__(self, allowances: Dict[Tuple[str, str], int]):
+        self.allowances = dict(allowances)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        """A baseline that waives nothing."""
+        return cls({})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls.empty()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{data.get('version')!r}"
+            )
+        allowances = {
+            (entry["path"], entry["rule"]): int(entry["count"])
+            for entry in data.get("entries", [])
+        }
+        return cls(allowances)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        """Baseline that exactly waives the given findings."""
+        counts = Counter((f.path, f.rule) for f in findings)
+        return cls(dict(counts))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline; sorted for stable diffs."""
+        entries = [
+            {"path": p, "rule": r, "count": c}
+            for (p, r), c in sorted(self.allowances.items())
+            if c > 0
+        ]
+        path.write_text(
+            json.dumps({"version": _VERSION, "entries": entries}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (reported, waived).
+
+        Findings are waived in (path, line) order until the per-(path,
+        rule) allowance is exhausted; the rest are reported.
+        """
+        remaining = dict(self.allowances)
+        reported: List[Finding] = []
+        waived: List[Finding] = []
+        for finding in sorted(findings):
+            key = (finding.path, finding.rule)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                waived.append(finding)
+            else:
+                reported.append(finding)
+        return reported, waived
+
+    def __len__(self) -> int:
+        return sum(self.allowances.values())

@@ -1,0 +1,87 @@
+"""reprolint configuration, read from ``[tool.reprolint]`` in pyproject.toml.
+
+Recognised keys::
+
+    [tool.reprolint]
+    paths = ["src/repro"]          # what to analyse (files or directories)
+    disable = ["A103"]             # rule ids to turn off globally
+    baseline = "reprolint-baseline.json"   # optional ratchet file
+    exclude = ["src/repro/_vendored"]      # path prefixes to skip
+
+TOML parsing uses the stdlib :mod:`tomllib` (Python >= 3.11).  On older
+interpreters — where tomllib does not exist and the project vendors no
+TOML parser — configuration silently falls back to the defaults, keeping
+the analyser importable everywhere the library runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on Python <= 3.10
+    tomllib = None
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+_DEFAULT_PATHS = ["src/repro"]
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration for one analysis run."""
+
+    #: Project root every relative path below is resolved against.
+    root: Path
+    paths: List[str] = field(default_factory=lambda: list(_DEFAULT_PATHS))
+    disable: List[str] = field(default_factory=list)
+    baseline: Optional[str] = None
+    exclude: List[str] = field(default_factory=list)
+
+    def resolved_paths(self) -> List[Path]:
+        """Analysis targets as absolute paths."""
+        return [self.root / p for p in self.paths]
+
+    def baseline_path(self) -> Optional[Path]:
+        """Absolute baseline path, or None when no baseline is configured."""
+        if self.baseline is None:
+            return None
+        return self.root / self.baseline
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the nearest pyproject.toml."""
+    current = start.resolve()
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(start: Optional[Path] = None) -> LintConfig:
+    """Build a :class:`LintConfig` from the nearest pyproject.toml.
+
+    Without a pyproject.toml (or on interpreters without :mod:`tomllib`)
+    the defaults apply, rooted at ``start``.
+    """
+    start = (start or Path.cwd()).resolve()
+    pyproject = find_pyproject(start)
+    if pyproject is None or tomllib is None:
+        return LintConfig(root=start)
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("reprolint", {})
+    config = LintConfig(root=pyproject.parent)
+    if "paths" in section:
+        config.paths = [str(p) for p in section["paths"]]
+    if "disable" in section:
+        config.disable = [str(r) for r in section["disable"]]
+    if "baseline" in section:
+        config.baseline = str(section["baseline"])
+    if "exclude" in section:
+        config.exclude = [str(p) for p in section["exclude"]]
+    return config

@@ -1,0 +1,127 @@
+"""The reprolint engine: discover, parse, check, suppress, baseline.
+
+:func:`run_analysis` is the single entry point used by both the module CLI
+(``python -m repro.analysis``) and the ``repro lint`` subcommand; tests
+call it directly with synthetic trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import (
+    ModuleInfo,
+    Project,
+    discover_files,
+    parse_module,
+)
+from repro.analysis.rules import all_checkers
+
+__all__ = ["AnalysisResult", "run_analysis"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one lint run produced."""
+
+    #: Findings to report (already suppression- and baseline-filtered).
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings waived by inline ``# reprolint: disable=`` comments.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Findings waived by the baseline file.
+    baselined: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any finding must be reported."""
+        return 1 if self.findings else 0
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Analyse ``paths`` (files or directories) and return the result."""
+    config = config or LintConfig(root=Path.cwd())
+    baseline = baseline or Baseline.empty()
+    excludes = [str(config.root / e) for e in config.exclude]
+    disabled = set(config.disable)
+
+    files = [
+        f
+        for f in discover_files([Path(p) for p in paths])
+        if not any(str(f.resolve()).startswith(e) for e in excludes)
+    ]
+
+    result = AnalysisResult()
+    modules: List[ModuleInfo] = []
+    raw: List[Finding] = []
+    for path in files:
+        module, error = parse_module(path, root=config.root)
+        result.checked_files += 1
+        if error is not None:
+            raw.append(
+                Finding(
+                    path=_display(path, config.root),
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) or 1,
+                    rule="P001",
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        modules.append(module)
+
+    project = Project(modules)
+    checkers = all_checkers()
+    for module in modules:
+        for checker in checkers:
+            for finding in checker.check(module, project):
+                raw.append(finding)
+
+    filtered: List[Finding] = []
+    for finding in raw:
+        if finding.rule in disabled:
+            continue
+        module = _module_for(modules, finding.path)
+        if module is not None and _is_suppressed(module, finding):
+            result.suppressed.append(finding)
+        else:
+            filtered.append(finding)
+
+    reported, waived = baseline.apply(filtered)
+    result.findings = sorted(reported)
+    result.baselined = waived
+    result.suppressed.sort()
+    return result
+
+
+def _display(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(path)
+
+
+def _module_for(
+    modules: Sequence[ModuleInfo], display_path: str
+) -> Optional[ModuleInfo]:
+    for module in modules:
+        if module.display_path == display_path:
+            return module
+    return None
+
+
+def _is_suppressed(module: ModuleInfo, finding: Finding) -> bool:
+    ids = module.suppressions.get(finding.line)
+    if ids is None:
+        return False
+    return finding.rule in ids or "all" in ids

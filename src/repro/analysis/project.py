@@ -1,0 +1,138 @@
+"""Parsed-module model: the unit of analysis reprolint rules operate on.
+
+A :class:`Project` is a set of parsed Python modules indexed by dotted
+module name, so cross-module rules (the A1 API-consistency family) can
+resolve ``from repro.x import y`` re-exports to the definition of ``y``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ModuleInfo", "Project", "discover_files", "module_name_for"]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    #: Path as reported in findings (relative to the project root if
+    #: possible, keeping reports machine-independent).
+    display_path: str
+    #: Dotted module name (``repro.sim.consumer``); empty when the file
+    #: lies outside any importable package.
+    module: str
+    source: str
+    tree: ast.Module
+    #: 1-based line -> set of rule ids suppressed on that line ("all"
+    #: suppresses every rule).
+    suppressions: Dict[int, frozenset] = field(default_factory=dict)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+class Project:
+    """All modules under analysis, indexed by dotted name."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.modules: List[ModuleInfo] = list(modules)
+        self.by_name: Dict[str, ModuleInfo] = {
+            m.module: m for m in self.modules if m.module
+        }
+
+    def resolve_module(self, dotted: str) -> Optional[ModuleInfo]:
+        """Look up a module by dotted name, if it is under analysis."""
+        return self.by_name.get(dotted)
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            found.append(path)
+    # De-duplicate while preserving order (a file given twice, or both a
+    # directory and a file inside it).
+    seen = set()
+    unique = []
+    for path in found:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, derived from package structure.
+
+    Walks up through directories containing ``__init__.py`` files; returns
+    an empty string for scripts outside any package.
+    """
+    path = path.resolve()
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        current = current.parent
+    return ".".join(reversed(parts))
+
+
+def parse_module(
+    path: Path, root: Optional[Path] = None
+) -> Tuple[Optional[ModuleInfo], Optional[SyntaxError]]:
+    """Parse one file; returns ``(module, None)`` or ``(None, error)``."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, exc
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            pass
+    info = ModuleInfo(
+        path=path,
+        display_path=display,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=_scan_suppressions(source),
+    )
+    return info, None
+
+
+def _scan_suppressions(source: str) -> Dict[int, frozenset]:
+    """Find ``# reprolint: disable=R1,R2`` comments, keyed by line."""
+    result: Dict[int, frozenset] = {}
+    marker = "reprolint:"
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or marker not in line:
+            continue
+        comment = line[line.index("#"):]
+        idx = comment.find(marker)
+        if idx < 0:
+            continue
+        directive = comment[idx + len(marker):].strip()
+        if not directive.startswith("disable="):
+            continue
+        rules = directive[len("disable="):].split()[0]
+        ids = frozenset(
+            r.strip() for r in rules.split(",") if r.strip()
+        )
+        if ids:
+            result[lineno] = ids
+    return result

@@ -15,7 +15,6 @@ service and has no notion of pipeline coupling or future reward.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

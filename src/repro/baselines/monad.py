@@ -115,7 +115,9 @@ class MonadAllocator(Allocator):
             state = next_state
         self.model.fit(dataset)
 
-    def fit_from_dataset(self, env: MicroserviceEnv, dataset: TransitionDataset) -> None:
+    def fit_from_dataset(
+        self, env: MicroserviceEnv, dataset: TransitionDataset
+    ) -> None:
         """Alternative preparation: reuse an existing interaction dataset.
 
         The comparison harness uses this to give MONAD exactly the same

@@ -15,7 +15,7 @@ what full-information reactive allocation achieves on this substrate.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

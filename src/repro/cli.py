@@ -18,8 +18,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 __all__ = ["main", "build_parser"]
 
 
@@ -70,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--collect-steps", type=int, default=1200)
     accuracy.add_argument("--test-steps", type=int, default=100)
     accuracy.add_argument("--seed", type=int, default=0)
+
+    # `lint` forwards everything to repro.analysis (handled in main()
+    # before parsing, because argparse.REMAINDER drops leading options);
+    # registered here so it shows up in --help.
+    sub.add_parser(
+        "lint",
+        help="run reprolint, the determinism static-analysis pass",
+        add_help=False,
+    )
 
     return parser
 
@@ -227,6 +234,12 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -19,7 +19,7 @@ so critic and actor operate on a consistent simplex-scaled action space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 import numpy as np

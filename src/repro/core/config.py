@@ -12,7 +12,7 @@ rollouts; LIGO 2,000 steps/iteration with 10-step rollouts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.rl.ddpg import DDPGConfig
 from repro.utils.validation import (

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.dataset import TransitionDataset
 from repro.nn import MLP, Adam, MeanSquaredError
-from repro.utils.rng import RngStream
+from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_positive
 
 __all__ = ["EnvironmentModel"]
@@ -55,7 +55,7 @@ class EnvironmentModel:
         check_positive("state_dim", state_dim)
         check_positive("action_dim", action_dim)
         if rng is None:
-            rng = RngStream("env-model", np.random.SeedSequence(0))
+            rng = fallback_stream("env-model")
         self.state_dim = state_dim
         self.action_dim = action_dim
         self.log_space = log_space

@@ -18,7 +18,7 @@ from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
 from repro.core.refinement import RefinedModel
 from repro.core.reward import reward_eq1
-from repro.utils.rng import RngStream
+from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_positive
 
 __all__ = ["ModelEnv"]
@@ -38,7 +38,7 @@ class ModelEnv:
         check_positive("consumer_budget", consumer_budget)
         check_positive("rollout_length", rollout_length)
         if rng is None:
-            rng = RngStream("model-env", np.random.SeedSequence(0))
+            rng = fallback_stream("model-env")
         self.model = model
         self.dataset = dataset
         self.consumer_budget = consumer_budget

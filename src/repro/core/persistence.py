@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.core.agent import IterationResult, MirasAgent
 from repro.core.config import MirasConfig, ModelConfig, PolicyConfig
-from repro.core.dataset import TransitionDataset
 from repro.core.refinement import RefinedModel
 from repro.nn.serialization import load_mlp, save_mlp
 from repro.rl.ddpg import DDPGConfig
@@ -117,6 +116,7 @@ def load_agent(
             agent.model,
             agent.dataset,
             percentile=config.model.refinement_percentile,
+            rng=agent._rngs["refine"].fork(f"n{len(agent.dataset)}"),
         )
     elif agent.model.trained:
         agent.refined_model = agent.model

@@ -20,13 +20,13 @@ dataset D.  Dimensions at or above tau_j pass through the raw model.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
-from repro.utils.rng import RngStream
+from repro.utils.rng import RngStream, fallback_stream
 
 __all__ = ["RefinedModel"]
 
@@ -52,7 +52,7 @@ class RefinedModel:
         if np.any(omega < tau):
             raise ValueError("omega must be >= tau per dimension")
         if rng is None:
-            rng = RngStream("refine", np.random.SeedSequence(0))
+            rng = fallback_stream("refine")
         self.model = model
         self.tau = tau
         self.omega = omega

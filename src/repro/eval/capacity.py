@@ -11,9 +11,7 @@ headroom?
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Tuple
-
-import numpy as np
+from typing import Dict, Mapping
 
 from repro.baselines.drs import mmc_expected_number
 from repro.workflows.dag import WorkflowEnsemble

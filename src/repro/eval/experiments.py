@@ -8,8 +8,8 @@ so the suite finishes in minutes instead of cluster-days.  Pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.core import (
     EnvironmentModel,
     MirasAgent,
     MirasConfig,
-    ModelConfig,
     RefinedModel,
     TransitionDataset,
 )

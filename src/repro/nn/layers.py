@@ -17,8 +17,13 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.nn.activations import Activation, get_activation
-from repro.nn.initializers import constant_init, glorot_uniform, he_uniform, uniform_init
-from repro.utils.rng import RngStream
+from repro.nn.initializers import (
+    constant_init,
+    glorot_uniform,
+    he_uniform,
+    uniform_init,
+)
+from repro.utils.rng import RngStream, fallback_stream
 
 __all__ = ["Dense"]
 
@@ -66,13 +71,15 @@ class Dense:
             known = ", ".join(sorted(_INITIALIZERS))
             raise ValueError(f"unknown init {init!r}; known: {known}")
         if rng is None:
-            rng = RngStream("dense", np.random.SeedSequence(0))
+            rng = fallback_stream("dense")
 
         self.in_dim = in_dim
         self.out_dim = out_dim
         self.aux_dim = aux_dim
         self.activation: Activation = (
-            activation if isinstance(activation, Activation) else get_activation(activation)
+            activation
+            if isinstance(activation, Activation)
+            else get_activation(activation)
         )
         fan_in = in_dim + aux_dim
         self.weights = _INITIALIZERS[init](fan_in, out_dim, rng)

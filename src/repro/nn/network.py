@@ -23,7 +23,7 @@ import numpy as np
 from repro.nn.layers import Dense
 from repro.nn.losses import Loss, MeanSquaredError
 from repro.nn.optimizers import Adam, Optimizer
-from repro.utils.rng import RngStream
+from repro.utils.rng import RngStream, fallback_stream
 
 __all__ = ["MLP", "soft_update"]
 
@@ -68,7 +68,7 @@ class MLP:
                 f"{len(layer_sizes) - 1} layers"
             )
         if rng is None:
-            rng = RngStream("mlp", np.random.SeedSequence(0))
+            rng = fallback_stream("mlp")
 
         self.layer_sizes = list(layer_sizes)
         self.hidden_activation = hidden_activation

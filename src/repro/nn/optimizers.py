@@ -12,6 +12,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.utils.validation import isclose_zero
+
 __all__ = ["Optimizer", "SGD", "Adam", "get_optimizer"]
 
 ParamGrads = List[Tuple[np.ndarray, np.ndarray]]
@@ -50,7 +52,7 @@ class Optimizer(ABC):
         total = np.sqrt(
             sum(float(np.sum(g * g)) for _, g in params_and_grads)
         )
-        if total <= self.grad_clip or total == 0.0:
+        if total <= self.grad_clip or isclose_zero(total):
             return params_and_grads
         scale = self.grad_clip / total
         return [(p, g * scale) for p, g in params_and_grads]

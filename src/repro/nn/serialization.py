@@ -14,6 +14,7 @@ from typing import Union
 import numpy as np
 
 from repro.nn.network import MLP
+from repro.utils.rng import RngStream
 
 __all__ = ["save_mlp", "load_mlp"]
 
@@ -57,6 +58,11 @@ def load_mlp(path: Union[str, Path]) -> MLP:
             output_activation=meta["output_activation"],
             aux_dim=meta["aux_dim"],
             aux_layer=meta["aux_layer"],
+            # Initial weights are discarded below, so a fixed init seed
+            # is fine here and the loaded network stays deterministic.
+            rng=RngStream(  # reprolint: disable=D201
+                "load-mlp", np.random.SeedSequence(0)
+            ),
         )
         for i, layer in enumerate(network.layers):
             weights = archive[f"layer{i}/weights"]

@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.nn import MLP, Adam
-from repro.utils.rng import RngStream
+from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_positive
 
 __all__ = ["Actor"]
@@ -45,7 +45,7 @@ class Actor:
                 f"output_mixing must lie in [0, 1), got {output_mixing!r}"
             )
         if rng is None:
-            rng = RngStream("actor", np.random.SeedSequence(0))
+            rng = fallback_stream("actor")
         self.state_dim = state_dim
         self.action_dim = action_dim
         self.state_scale = state_scale

@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.nn import MLP, Adam, HuberLoss, MeanSquaredError
-from repro.utils.rng import RngStream
+from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_positive
 
 __all__ = ["Critic"]
@@ -41,7 +41,7 @@ class Critic:
         if len(hidden_sizes) < 1:
             raise ValueError("critic needs at least one hidden layer")
         if rng is None:
-            rng = RngStream("critic", np.random.SeedSequence(0))
+            rng = fallback_stream("critic")
         self.state_dim = state_dim
         self.action_dim = action_dim
         self.state_scale = state_scale

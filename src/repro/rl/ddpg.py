@@ -13,7 +13,7 @@ actions break the constraint — so the comparison is reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,7 +28,7 @@ from repro.rl.noise import (
     project_to_simplex,
 )
 from repro.rl.replay import ReplayBuffer
-from repro.utils.rng import RngStream
+from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_in_range, check_positive
 
 __all__ = ["DDPGConfig", "DDPGAgent"]
@@ -96,7 +96,7 @@ class DDPGAgent:
     ):
         self.config = config or DDPGConfig()
         if rng is None:
-            rng = RngStream("ddpg", np.random.SeedSequence(0))
+            rng = fallback_stream("ddpg")
         self.rng = rng
         self.state_dim = state_dim
         self.action_dim = action_dim

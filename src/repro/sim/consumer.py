@@ -19,6 +19,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.sim.events import EventHandle
 from repro.sim.queueing import DeliveryTag
 from repro.sim.requests import TaskRequest
+from repro.utils.validation import isclose_zero
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.cluster import Node
@@ -49,7 +50,7 @@ def sample_service_time(mean: float, cv: float, rng) -> float:
         raise ValueError(f"mean service time must be positive, got {mean!r}")
     if cv < 0:
         raise ValueError(f"cv must be non-negative, got {cv!r}")
-    if cv == 0.0:
+    if isclose_zero(cv):
         return mean
     sigma_sq = math.log(1.0 + cv * cv)
     mu = math.log(mean) - sigma_sq / 2.0

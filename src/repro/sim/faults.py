@@ -22,7 +22,7 @@ from repro.sim.consumer import ConsumerState
 from repro.sim.microservice import Microservice
 from repro.sim.system import MicroserviceWorkflowSystem
 from repro.utils.rng import RngStream
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import check_non_negative, check_positive, require
 
 __all__ = ["crash_one_consumer", "ChaosInjector"]
 
@@ -50,7 +50,8 @@ def crash_one_consumer(microservice: Microservice) -> bool:
         victim.pending_event.cancel()
         victim.pending_event = None
     if victim.state is ConsumerState.BUSY:
-        assert victim.current_tag is not None
+        require(victim.current_tag is not None,
+                "busy consumer has no delivery tag")
         elapsed = microservice.loop.now - victim.processing_started_at
         victim.current_request.wasted_work += elapsed
         microservice.queue.nack(victim.current_tag)

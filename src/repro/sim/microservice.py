@@ -25,7 +25,7 @@ queue and a set of consumers subscribing to the queue to handle requests"
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.sim.cluster import Cluster
 from repro.sim.consumer import Consumer, ConsumerState, sample_service_time
@@ -33,6 +33,7 @@ from repro.sim.events import EventLoop
 from repro.sim.queueing import AckQueue
 from repro.sim.requests import TaskRequest
 from repro.utils.rng import RngStream
+from repro.utils.validation import require
 from repro.workflows.dag import TaskType
 
 __all__ = ["Microservice"]
@@ -138,8 +139,10 @@ class Microservice:
         if victim.state is ConsumerState.BUSY:
             # Kill mode: the in-flight request is redelivered; elapsed
             # work is wasted.
-            assert victim.current_tag is not None
-            assert victim.current_request is not None
+            require(victim.current_tag is not None,
+                    "busy consumer has no delivery tag")
+            require(victim.current_request is not None,
+                    "busy consumer has no in-flight request")
             elapsed = self.loop.now - victim.processing_started_at
             victim.current_request.wasted_work += elapsed
             self.queue.nack(victim.current_tag)
@@ -181,8 +184,10 @@ class Microservice:
     def _on_finished(self, consumer: Consumer) -> None:
         if consumer.state is not ConsumerState.BUSY:
             return  # killed before finishing; nack already handled it
-        assert consumer.current_tag is not None
-        assert consumer.current_request is not None
+        require(consumer.current_tag is not None,
+                "finished consumer has no delivery tag")
+        require(consumer.current_request is not None,
+                "finished consumer has no in-flight request")
         request = self.queue.ack(consumer.current_tag)
         now = self.loop.now
         consumer.tasks_completed += 1

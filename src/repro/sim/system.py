@@ -9,7 +9,7 @@ the world run for one window, observe w(k+1), d(k) and the reward.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np

@@ -1,6 +1,11 @@
 """Shared utilities: seeded RNG streams, validation, running statistics."""
 
-from repro.utils.rng import RngStream, spawn_rngs
+from repro.utils.rng import (
+    ReproducibilityWarning,
+    RngStream,
+    fallback_stream,
+    spawn_rngs,
+)
 from repro.utils.summary import RunningStats, ewma
 from repro.utils.validation import (
     check_in_range,
@@ -8,11 +13,15 @@ from repro.utils.validation import (
     check_positive,
     check_probability,
     check_type,
+    isclose_zero,
+    require,
 )
 
 __all__ = [
     "RngStream",
+    "ReproducibilityWarning",
     "spawn_rngs",
+    "fallback_stream",
     "RunningStats",
     "ewma",
     "check_in_range",
@@ -20,4 +29,6 @@ __all__ = [
     "check_positive",
     "check_probability",
     "check_type",
+    "isclose_zero",
+    "require",
 ]

@@ -6,15 +6,44 @@ named stream so that experiments are reproducible and components can be
 re-seeded independently.  Streams are derived from a root seed with
 ``numpy.random.SeedSequence`` spawning, which guarantees statistical
 independence between streams.
+
+Reproducibility contract
+------------------------
+All randomness in ``repro`` must flow through :class:`RngStream`; ambient
+sources (the :mod:`random` module, global numpy state, wall-clock seeds)
+are forbidden and rejected statically by ``python -m repro.analysis``
+(rule family D1).  Components accept an ``rng`` argument; when a caller
+omits it, the component falls back to :func:`fallback_stream`, which keeps
+old call sites working but emits a :class:`ReproducibilityWarning` so the
+fallback is never silent (rule family D2).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List
 
 import numpy as np
 
-__all__ = ["RngStream", "spawn_rngs"]
+__all__ = [
+    "RngStream",
+    "spawn_rngs",
+    "fallback_stream",
+    "ReproducibilityWarning",
+]
+
+#: Seed used by :func:`fallback_stream` when a caller does not provide an
+#: explicit stream.  Kept as a named constant so the fallback is auditable.
+FALLBACK_SEED = 0
+
+
+class ReproducibilityWarning(UserWarning):
+    """A component silently used a default seed instead of an explicit one.
+
+    Experiments that care about their results should construct every
+    stochastic component with a stream forked from the experiment seed;
+    this warning marks the places that did not.
+    """
 
 
 class RngStream:
@@ -31,7 +60,15 @@ class RngStream:
         self.generator = np.random.default_rng(seed_sequence)
 
     def fork(self, label: str) -> "RngStream":
-        """Derive a child stream that is independent of this one."""
+        """Derive a child stream that is independent of this one.
+
+        Forking is deterministic given the parent's seed and the *order* of
+        ``fork`` calls: the same parent forked through the same sequence of
+        labels reproduces the same children, and every fork — including a
+        re-used label — yields a fresh, statistically independent stream.
+        The label is recorded in the child's hierarchical name so streams
+        remain auditable in traces.
+        """
         (child,) = self._seed_sequence.spawn(1)
         return RngStream(f"{self.name}/{label}", child)
 
@@ -75,3 +112,22 @@ def spawn_rngs(seed: int, names: Iterable[str]) -> Dict[str, RngStream]:
     return {
         name: RngStream(name, child) for name, child in zip(names_list, children)
     }
+
+
+def fallback_stream(name: str) -> RngStream:
+    """Default stream for components whose caller passed ``rng=None``.
+
+    Returns a stream seeded from :data:`FALLBACK_SEED` so legacy call sites
+    keep working, but emits a :class:`ReproducibilityWarning`: results that
+    matter should thread an explicit stream forked from the experiment seed
+    instead of relying on this fixed default.
+    """
+    warnings.warn(
+        f"component {name!r} was constructed without an explicit RngStream "
+        f"and falls back to the fixed seed {FALLBACK_SEED}; pass "
+        "rng=<stream>.fork(...) derived from the experiment seed for "
+        "reproducible, independently seeded results",
+        ReproducibilityWarning,
+        stacklevel=3,
+    )
+    return RngStream(name, np.random.SeedSequence(FALLBACK_SEED))

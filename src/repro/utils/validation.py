@@ -14,7 +14,14 @@ __all__ = [
     "check_in_range",
     "check_probability",
     "check_type",
+    "isclose_zero",
+    "require",
 ]
+
+#: Default tolerance for :func:`isclose_zero`; generous enough to absorb
+#: accumulated float error in window statistics, far below any physical
+#: quantity the simulator tracks (seconds, requests, containers).
+ZERO_EPS = 1e-12
 
 
 def check_positive(name: str, value: float) -> float:
@@ -53,6 +60,27 @@ def check_in_range(
 def check_probability(name: str, value: float) -> float:
     """Require ``value`` in [0, 1]."""
     return check_in_range(name, value, 0.0, 1.0)
+
+
+def isclose_zero(value: float, eps: float = ZERO_EPS) -> bool:
+    """True when ``abs(value) <= eps``.
+
+    Use this instead of ``value == 0.0``: exact float equality silently
+    misbehaves once a quantity has been through any arithmetic, and the
+    static-analysis pass (rule S101) rejects it in library code.
+    """
+    return abs(value) <= eps
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`RuntimeError` when an internal invariant fails.
+
+    Unlike ``assert``, this check survives ``python -O`` — use it for
+    invariants and budget/constraint checks in library code (the
+    static-analysis pass, rule S103, rejects bare asserts there).
+    """
+    if not condition:
+        raise RuntimeError(f"internal invariant violated: {message}")
 
 
 def check_type(

@@ -9,7 +9,7 @@ seed see identical arrivals.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional
 
 from repro.sim.system import MicroserviceWorkflowSystem
 from repro.utils.rng import RngStream

@@ -16,7 +16,7 @@ drain-then-recover shapes of Figs. 7–8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 __all__ = [

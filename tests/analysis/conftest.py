@@ -1,0 +1,52 @@
+"""Shared helpers for the reprolint tests.
+
+Rules are exercised on synthetic source written into ``tmp_path``; the
+helpers below hide the engine plumbing so each test states only the code
+under analysis and the rule ids it expects.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import run_analysis
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Lint one synthetic module; returns the list of findings."""
+
+    def _lint(code, filename="sample.py", **config_kwargs):
+        path = tmp_path / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(code, encoding="utf-8")
+        config = LintConfig(root=tmp_path, **config_kwargs)
+        return run_analysis([path], config=config).findings
+
+    return _lint
+
+
+@pytest.fixture
+def lint_package(tmp_path):
+    """Lint a synthetic package given ``{relative_path: source}``."""
+
+    def _lint(files, **config_kwargs):
+        for rel, code in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(code, encoding="utf-8")
+        config = LintConfig(root=tmp_path, **config_kwargs)
+        return run_analysis([tmp_path], config=config).findings
+
+    return _lint
+
+
+def rules_of(findings):
+    """The set of rule ids present in a findings list."""
+    return {f.rule for f in findings}
+
+
+def repo_root() -> Path:
+    """The repository root (two levels above tests/analysis/)."""
+    return Path(__file__).resolve().parents[2]

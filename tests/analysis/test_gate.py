@@ -1,0 +1,56 @@
+"""The gate: the shipped tree must be reprolint-clean.
+
+These tests pin the acceptance contract: ``python -m repro.analysis``
+exits 0 on ``src/repro`` with zero unsuppressed findings and an empty
+baseline, so any regression reintroducing ambient nondeterminism, seed
+fallbacks, float-equality drift, or broken exports fails CI immediately.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import load_config
+from repro.analysis.engine import run_analysis
+
+from tests.analysis.conftest import repo_root
+
+
+class TestLintGate:
+    def test_src_repro_has_zero_findings(self):
+        root = repo_root()
+        config = load_config(root)
+        result = run_analysis(config.resolved_paths(), config=config)
+        details = "\n".join(f.format_text() for f in result.findings)
+        assert result.findings == [], f"reprolint regressions:\n{details}"
+        assert result.checked_files > 50
+
+    def test_baseline_is_empty(self):
+        config = load_config(repo_root())
+        baseline_path = config.baseline_path()
+        if baseline_path is not None and baseline_path.exists():
+            assert len(Baseline.load(baseline_path)) == 0
+        # A configured-but-absent baseline file is the empty baseline.
+
+    def test_no_rules_disabled_in_repo_config(self):
+        assert load_config(repo_root()).disable == []
+
+    def test_module_cli_exits_zero(self):
+        root = repo_root()
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--format", "json"],
+            cwd=root,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,224 @@
+"""Positive/negative coverage for the A1 rule family (API consistency)."""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+def make_pkg(init_code, inner_code=None):
+    files = {"pkg/__init__.py": src(init_code)}
+    if inner_code is not None:
+        files["pkg/inner.py"] = src(inner_code)
+    return files
+
+
+class TestA101BrokenExports:
+    def test_flags_phantom_all_entry(self, lint_package):
+        findings = lint_package(make_pkg("""
+            \"\"\"Package.\"\"\"
+
+            __all__ = ["missing"]
+        """))
+        assert "A101" in rules_of(findings)
+
+    def test_flags_reexport_of_missing_symbol(self, lint_package):
+        findings = lint_package(
+            make_pkg(
+                """
+                \"\"\"Package.\"\"\"
+
+                from pkg.inner import gone
+
+                __all__ = ["gone"]
+                """,
+                """
+                \"\"\"Inner module.\"\"\"
+
+                def here():
+                    \"\"\"Exists.\"\"\"
+                """,
+            )
+        )
+        assert "A101" in rules_of(findings)
+
+    def test_allows_resolving_exports(self, lint_package):
+        findings = lint_package(
+            make_pkg(
+                """
+                \"\"\"Package.\"\"\"
+
+                from pkg.inner import here
+
+                __all__ = ["here"]
+                """,
+                """
+                \"\"\"Inner module.\"\"\"
+
+                def here():
+                    \"\"\"Exists.\"\"\"
+                """,
+            )
+        )
+        assert "A101" not in rules_of(findings)
+
+    def test_allows_locally_defined_export(self, lint_package):
+        findings = lint_package(make_pkg("""
+            \"\"\"Package.\"\"\"
+
+            __all__ = ["VERSION", "helper"]
+
+            VERSION = "1.0"
+
+
+            def helper():
+                \"\"\"Local helper.\"\"\"
+        """))
+        assert "A101" not in rules_of(findings)
+
+
+class TestA102MissingDocstrings:
+    def test_flags_undocumented_reexport(self, lint_package):
+        findings = lint_package(
+            make_pkg(
+                """
+                \"\"\"Package.\"\"\"
+
+                from pkg.inner import bare
+
+                __all__ = ["bare"]
+                """,
+                """
+                \"\"\"Inner module.\"\"\"
+
+                def bare():
+                    pass
+                """,
+            )
+        )
+        assert "A102" in rules_of(findings)
+
+    def test_flags_undocumented_local_export(self, lint_package):
+        findings = lint_package(make_pkg("""
+            \"\"\"Package.\"\"\"
+
+            __all__ = ["helper"]
+
+
+            def helper():
+                pass
+        """))
+        assert "A102" in rules_of(findings)
+
+    def test_allows_documented_reexport(self, lint_package):
+        findings = lint_package(
+            make_pkg(
+                """
+                \"\"\"Package.\"\"\"
+
+                from pkg.inner import documented
+
+                __all__ = ["documented"]
+                """,
+                """
+                \"\"\"Inner module.\"\"\"
+
+                class documented:
+                    \"\"\"Has a docstring.\"\"\"
+                """,
+            )
+        )
+        assert "A102" not in rules_of(findings)
+
+    def test_allows_reexported_constant(self, lint_package):
+        # Assignments cannot carry docstrings; only defs/classes are held
+        # to the docstring requirement.
+        findings = lint_package(
+            make_pkg(
+                """
+                \"\"\"Package.\"\"\"
+
+                from pkg.inner import RATES
+
+                __all__ = ["RATES"]
+                """,
+                """
+                \"\"\"Inner module.\"\"\"
+
+                RATES = {"msd": 1.0}
+                """,
+            )
+        )
+        assert "A102" not in rules_of(findings)
+
+
+class TestA103AllMismatch:
+    def test_flags_unexported_public_import(self, lint_package):
+        findings = lint_package(
+            make_pkg(
+                """
+                \"\"\"Package.\"\"\"
+
+                from pkg.inner import here, stray
+
+                __all__ = ["here"]
+                """,
+                """
+                \"\"\"Inner module.\"\"\"
+
+                def here():
+                    \"\"\"Exported.\"\"\"
+
+
+                def stray():
+                    \"\"\"Imported but not exported.\"\"\"
+                """,
+            )
+        )
+        assert "A103" in rules_of(findings)
+
+    def test_allows_underscore_imports(self, lint_package):
+        findings = lint_package(
+            make_pkg(
+                """
+                \"\"\"Package.\"\"\"
+
+                from pkg.inner import here, _internal
+
+                __all__ = ["here"]
+                """,
+                """
+                \"\"\"Inner module.\"\"\"
+
+                def here():
+                    \"\"\"Exported.\"\"\"
+
+
+                def _internal():
+                    \"\"\"Private.\"\"\"
+                """,
+            )
+        )
+        assert "A103" not in rules_of(findings)
+
+    def test_non_package_modules_are_exempt(self, lint):
+        # A1 only applies to package __init__ files.
+        findings = lint(
+            src("""
+                \"\"\"Plain module.\"\"\"
+
+                from os.path import join
+
+                __all__ = ["helper"]
+
+
+                def helper():
+                    \"\"\"Documented.\"\"\"
+                    return join("a", "b")
+            """),
+            filename="plain.py",
+        )
+        assert rules_of(findings) & {"A101", "A102", "A103"} == set()

@@ -1,0 +1,189 @@
+"""Positive/negative coverage for the D1 and D2 rule families."""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestD101AmbientRandomness:
+    def test_flags_stdlib_random_import(self, lint):
+        findings = lint(src("""
+            import random
+
+            x = random.random()
+        """))
+        assert "D101" in rules_of(findings)
+
+    def test_flags_from_random_import(self, lint):
+        findings = lint(src("""
+            from random import choice
+
+            x = choice([1, 2])
+        """))
+        assert "D101" in rules_of(findings)
+
+    def test_flags_global_numpy_distribution(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            x = np.random.normal(0.0, 1.0)
+        """))
+        assert "D101" in rules_of(findings)
+
+    def test_flags_numpy_random_seed(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            np.random.seed(42)
+        """))
+        assert "D101" in rules_of(findings)
+
+    def test_flags_from_numpy_random_distribution(self, lint):
+        findings = lint(src("""
+            from numpy.random import uniform
+
+            x = uniform()
+        """))
+        assert "D101" in rules_of(findings)
+
+    def test_allows_seed_sequence_and_default_rng(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            ss = np.random.SeedSequence(7)
+            gen = np.random.default_rng(ss)
+        """))
+        assert "D101" not in rules_of(findings)
+
+    def test_allows_rngstream_draws(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            from repro.utils.rng import RngStream
+
+            def draw(rng):
+                return rng.normal(0.0, 1.0)
+        """))
+        assert "D101" not in rules_of(findings)
+
+    def test_allows_unrelated_attribute_named_random(self, lint):
+        # `self.random` or `config.random_fraction` is not numpy state.
+        findings = lint(src("""
+            def pick(config):
+                return config.random_fraction
+        """))
+        assert "D101" not in rules_of(findings)
+
+
+class TestD102WallClock:
+    def test_flags_time_time(self, lint):
+        findings = lint(src("""
+            import time
+
+            start = time.time()
+        """))
+        assert "D102" in rules_of(findings)
+
+    def test_flags_perf_counter(self, lint):
+        findings = lint(src("""
+            import time
+
+            t0 = time.perf_counter()
+        """))
+        assert "D102" in rules_of(findings)
+
+    def test_flags_from_time_import_time(self, lint):
+        findings = lint(src("""
+            from time import time
+
+            start = time()
+        """))
+        assert "D102" in rules_of(findings)
+
+    def test_flags_datetime_now(self, lint):
+        findings = lint(src("""
+            from datetime import datetime
+
+            stamp = datetime.now()
+        """))
+        assert "D102" in rules_of(findings)
+
+    def test_flags_datetime_module_now(self, lint):
+        findings = lint(src("""
+            import datetime
+
+            stamp = datetime.datetime.now()
+        """))
+        assert "D102" in rules_of(findings)
+
+    def test_allows_time_sleep_and_simulated_clock(self, lint):
+        findings = lint(src("""
+            import time
+
+            def wait(loop):
+                time.sleep(0.0)
+                return loop.now
+        """))
+        assert "D102" not in rules_of(findings)
+
+    def test_allows_local_time_variable(self, lint):
+        # A variable that merely shadows the name `time` is not a clock.
+        findings = lint(src("""
+            def fmt(time):
+                return time.time()
+        """))
+        assert "D102" not in rules_of(findings)
+
+
+class TestD201SeedFallback:
+    def test_flags_literal_seed_sequence(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            from repro.utils.rng import RngStream
+
+            rng = RngStream("dense", np.random.SeedSequence(0))
+        """))
+        assert "D201" in rules_of(findings)
+
+    def test_flags_bare_seed_sequence_name(self, lint):
+        findings = lint(src("""
+            from numpy.random import SeedSequence
+
+            from repro.utils.rng import RngStream
+
+            rng = RngStream("x", SeedSequence(1234))
+        """))
+        assert "D201" in rules_of(findings)
+
+    def test_flags_keyword_form(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            from repro.utils.rng import RngStream
+
+            rng = RngStream("x", seed_sequence=np.random.SeedSequence(entropy=3))
+        """))
+        assert "D201" in rules_of(findings)
+
+    def test_allows_variable_seed(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            from repro.utils.rng import RngStream
+
+            def make(seed):
+                return RngStream("x", np.random.SeedSequence(seed))
+        """))
+        assert "D201" not in rules_of(findings)
+
+    def test_allows_forked_stream(self, lint):
+        findings = lint(src("""
+            def child(parent):
+                return parent.fork("layer0")
+        """))
+        assert "D201" not in rules_of(findings)

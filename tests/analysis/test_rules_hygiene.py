@@ -1,0 +1,134 @@
+"""Positive/negative coverage for the S1 rule family."""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestS101FloatEquality:
+    def test_flags_equality_with_float_literal(self, lint):
+        findings = lint(src("""
+            def degenerate(cv):
+                return cv == 0.0
+        """))
+        assert "S101" in rules_of(findings)
+
+    def test_flags_inequality_with_float_literal(self, lint):
+        findings = lint(src("""
+            def moved(x):
+                return x != 1.5
+        """))
+        assert "S101" in rules_of(findings)
+
+    def test_flags_literal_on_left(self, lint):
+        findings = lint(src("""
+            def check(total):
+                return 0.0 == total
+        """))
+        assert "S101" in rules_of(findings)
+
+    def test_allows_integer_equality(self, lint):
+        findings = lint(src("""
+            def empty(n):
+                return n == 0
+        """))
+        assert "S101" not in rules_of(findings)
+
+    def test_allows_float_ordering(self, lint):
+        findings = lint(src("""
+            def positive(x):
+                return x > 0.0
+        """))
+        assert "S101" not in rules_of(findings)
+
+    def test_allows_isclose_zero(self, lint):
+        findings = lint(src("""
+            from repro.utils.validation import isclose_zero
+
+            def degenerate(cv):
+                return isclose_zero(cv)
+        """))
+        assert "S101" not in rules_of(findings)
+
+
+class TestS102MutableDefault:
+    def test_flags_list_default(self, lint):
+        findings = lint(src("""
+            def collect(items=[]):
+                return items
+        """))
+        assert "S102" in rules_of(findings)
+
+    def test_flags_dict_default(self, lint):
+        findings = lint(src("""
+            def configure(options={}):
+                return options
+        """))
+        assert "S102" in rules_of(findings)
+
+    def test_flags_dict_call_default(self, lint):
+        findings = lint(src("""
+            def configure(options=dict()):
+                return options
+        """))
+        assert "S102" in rules_of(findings)
+
+    def test_flags_keyword_only_default(self, lint):
+        findings = lint(src("""
+            def collect(*, items=[]):
+                return items
+        """))
+        assert "S102" in rules_of(findings)
+
+    def test_allows_none_default(self, lint):
+        findings = lint(src("""
+            def collect(items=None):
+                return list(items or [])
+        """))
+        assert "S102" not in rules_of(findings)
+
+    def test_allows_immutable_defaults(self, lint):
+        findings = lint(src("""
+            def scale(factor=1.0, mode="drain", dims=(1, 2)):
+                return factor, mode, dims
+        """))
+        assert "S102" not in rules_of(findings)
+
+
+class TestS103AssertValidation:
+    def test_flags_assert_statement(self, lint):
+        findings = lint(src("""
+            def allocate(total, budget):
+                assert total <= budget, "over budget"
+                return total
+        """))
+        assert "S103" in rules_of(findings)
+
+    def test_flags_bare_invariant_assert(self, lint):
+        findings = lint(src("""
+            def finish(consumer):
+                assert consumer.current_tag is not None
+        """))
+        assert "S103" in rules_of(findings)
+
+    def test_allows_explicit_raise(self, lint):
+        findings = lint(src("""
+            def allocate(total, budget):
+                if total > budget:
+                    raise ValueError("over budget")
+                return total
+        """))
+        assert "S103" not in rules_of(findings)
+
+    def test_allows_require_helper(self, lint):
+        findings = lint(src("""
+            from repro.utils.validation import require
+
+            def finish(consumer):
+                require(consumer.current_tag is not None, "no tag")
+        """))
+        assert "S103" not in rules_of(findings)

@@ -65,7 +65,8 @@ class TestAdam:
         assert opt.iterations == 0
 
     @pytest.mark.parametrize(
-        "kwargs", [{"beta1": 1.0}, {"beta2": -0.1}, {"epsilon": 0}, {"weight_decay": -1}]
+        "kwargs",
+        [{"beta1": 1.0}, {"beta2": -0.1}, {"epsilon": 0}, {"weight_decay": -1}],
     )
     def test_rejects_bad_hyperparams(self, kwargs):
         with pytest.raises(ValueError):

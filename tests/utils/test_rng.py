@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import RngStream, spawn_rngs
+from repro.utils.rng import (
+    ReproducibilityWarning,
+    RngStream,
+    fallback_stream,
+    spawn_rngs,
+)
 
 
 class TestSpawnRngs:
@@ -46,6 +51,63 @@ class TestFork:
         root = spawn_rngs(0, ["r"])["r"]
         child = root.fork("c")
         assert not np.array_equal(root.uniform(size=20), child.uniform(size=20))
+
+    def test_same_seed_and_label_sequence_reproduces_children(self):
+        def draws():
+            root = spawn_rngs(123, ["r"])["r"]
+            return [
+                root.fork("model").normal(size=8),
+                root.fork("policy").normal(size=8),
+                root.fork("model").normal(size=8),  # re-used label
+            ]
+
+        first, second = draws(), draws()
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_different_labels_give_distinct_streams(self):
+        root = spawn_rngs(0, ["r"])["r"]
+        a = root.fork("actor").uniform(size=50)
+        b = root.fork("critic").uniform(size=50)
+        assert not np.array_equal(a, b)
+
+    def test_repeated_label_gives_fresh_distinct_stream(self):
+        root = spawn_rngs(9, ["r"])["r"]
+        first = root.fork("layer").normal(size=30)
+        second = root.fork("layer").normal(size=30)
+        assert not np.array_equal(first, second)
+
+    def test_grandchildren_are_deterministic(self):
+        def leaf():
+            root = spawn_rngs(31, ["r"])["r"]
+            return root.fork("mid").fork("leaf").uniform(size=10)
+
+        assert np.array_equal(leaf(), leaf())
+
+
+class TestFallbackStream:
+    def test_warns_and_returns_fixed_seed_stream(self):
+        with pytest.warns(ReproducibilityWarning, match="explicit RngStream"):
+            first = fallback_stream("dense")
+        with pytest.warns(ReproducibilityWarning):
+            second = fallback_stream("dense")
+        assert np.array_equal(first.uniform(size=10), second.uniform(size=10))
+
+    def test_component_constructors_warn_without_rng(self):
+        from repro.nn.layers import Dense
+
+        with pytest.warns(ReproducibilityWarning):
+            Dense(3, 2)
+
+    def test_component_constructors_silent_with_rng(self):
+        import warnings
+
+        from repro.nn.layers import Dense
+
+        rng = RngStream("t", np.random.SeedSequence(3))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproducibilityWarning)
+            Dense(3, 2, rng=rng)
 
 
 class TestDistributionPassthroughs:

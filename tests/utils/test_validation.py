@@ -8,6 +8,8 @@ from repro.utils.validation import (
     check_positive,
     check_probability,
     check_type,
+    isclose_zero,
+    require,
 )
 
 
@@ -66,3 +68,38 @@ class TestCheckType:
     def test_rejects_wrong_type(self):
         with pytest.raises(TypeError, match="x must be int"):
             check_type("x", "five", int)
+
+
+class TestIscloseZero:
+    def test_exact_zero(self):
+        assert isclose_zero(0.0)
+
+    def test_tiny_residual_counts_as_zero(self):
+        assert isclose_zero(1e-15)
+        assert isclose_zero(-1e-15)
+
+    def test_meaningful_values_are_not_zero(self):
+        assert not isclose_zero(1e-6)
+        assert not isclose_zero(-0.5)
+
+    def test_custom_epsilon(self):
+        assert isclose_zero(0.05, eps=0.1)
+        assert not isclose_zero(0.05, eps=0.01)
+
+
+class TestRequire:
+    def test_passes_silently_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_runtime_error_with_message(self):
+        with pytest.raises(RuntimeError, match="invariant.*no tag"):
+            require(False, "no tag")
+
+    def test_survives_optimized_mode(self):
+        # Unlike assert, require() cannot be stripped: it is a plain call.
+        import dis
+
+        import repro.utils.validation as validation
+
+        instructions = list(dis.get_instructions(validation.require))
+        assert any(i.opname == "RAISE_VARARGS" for i in instructions)
