@@ -6,10 +6,16 @@
     python -m repro evaluate --agent runs/msd-agent --dataset msd --burst 0
     python -m repro simulate --dataset msd --allocator heft --burst 0
     python -m repro model-accuracy --dataset ligo
+    python -m repro trace --dataset msd --output runs/trace-msd
+    python -m repro report runs/trace-msd
 
 ``train`` runs Algorithm 2; ``evaluate`` deploys a saved agent on a paper
 burst scenario; ``simulate`` runs a heuristic allocator (no learning);
-``model-accuracy`` reproduces the Fig. 5 protocol.
+``model-accuracy`` reproduces the Fig. 5 protocol; ``trace`` reruns a
+simulation or training run with telemetry on, writing a JSONL trace and a
+run manifest; ``report`` summarizes such a trace into utilization,
+queue-depth, container-lifecycle, and training-curve tables
+(docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -68,6 +74,36 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--collect-steps", type=int, default=1200)
     accuracy.add_argument("--test-steps", type=int, default=100)
     accuracy.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced simulation/training run (JSONL + manifest)"
+    )
+    _add_dataset(trace)
+    trace.add_argument("--mode", choices=("simulate", "train"),
+                       default="simulate")
+    trace.add_argument(
+        "--allocator",
+        choices=("uniform", "wip", "stream", "heft", "hpa", "oracle"),
+        default="uniform",
+        help="allocator for --mode simulate",
+    )
+    trace.add_argument("--burst", type=int, default=0,
+                       help="burst scenario index for --mode simulate")
+    trace.add_argument("--steps", type=int, default=30,
+                       help="control windows for --mode simulate")
+    trace.add_argument("--iterations", type=int, default=1,
+                       help="Algorithm 2 iterations for --mode train")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", required=True,
+                       help="run directory for trace.jsonl + manifest.json")
+
+    report = sub.add_parser(
+        "report", help="summarize a trace file or run directory"
+    )
+    report.add_argument("path",
+                        help="trace.jsonl file or directory containing one")
+    report.add_argument("--validate", action="store_true",
+                        help="check every record against its schema")
 
     # `lint` forwards everything to repro.analysis (handled in main()
     # before parsing, because argparse.REMAINDER drops leading options);
@@ -135,7 +171,7 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _make_allocator(name: str):
     from repro.baselines.autoscaler import HpaAllocator
     from repro.baselines.drs import DrsAllocator
     from repro.baselines.heft import HeftAllocator
@@ -144,9 +180,6 @@ def _cmd_simulate(args) -> int:
         ProportionalToWipAllocator,
         UniformAllocator,
     )
-    from repro.eval.experiments import dataset_preset
-    from repro.eval.runner import evaluate_allocator, make_env
-    from repro.sim.system import SystemConfig
 
     allocators = {
         "uniform": UniformAllocator,
@@ -156,6 +189,14 @@ def _cmd_simulate(args) -> int:
         "hpa": HpaAllocator,
         "oracle": OracleAllocator,
     }
+    return allocators[name]()
+
+
+def _cmd_simulate(args) -> int:
+    from repro.eval.experiments import dataset_preset
+    from repro.eval.runner import evaluate_allocator, make_env
+    from repro.sim.system import SystemConfig
+
     preset = dataset_preset(args.dataset)
     scenario = _scenario(preset, args.burst)
     env = make_env(
@@ -165,7 +206,7 @@ def _cmd_simulate(args) -> int:
         background_rates=dict(scenario.background_rates),
     )
     result = evaluate_allocator(
-        allocators[args.allocator](), env, scenario, args.steps
+        _make_allocator(args.allocator), env, scenario, args.steps
     )
     _print_result(result)
     return 0
@@ -194,6 +235,114 @@ def _cmd_model_accuracy(args) -> int:
         ],
         title=f"Model accuracy ({args.dataset}), Fig. 5 protocol",
     ))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.eval.experiments import dataset_preset
+    from repro.eval.runner import make_env
+    from repro.sim.system import SystemConfig
+    from repro.telemetry import (
+        JsonlSink,
+        RunManifest,
+        Tracer,
+        wall_time_now,
+        write_manifest,
+    )
+
+    outdir = Path(args.output)
+    tracer = Tracer(JsonlSink(outdir / "trace.jsonl"))
+    preset = dataset_preset(args.dataset)
+    config_snapshot = {
+        "dataset": args.dataset,
+        "mode": args.mode,
+        "consumer_budget": preset["budget"],
+        "seed": args.seed,
+    }
+    if args.mode == "simulate":
+        from repro.eval.runner import evaluate_allocator
+
+        scenario = _scenario(preset, args.burst)
+        config_snapshot.update(
+            allocator=args.allocator, burst=args.burst, steps=args.steps
+        )
+        command = (
+            f"trace --dataset {args.dataset} --mode simulate "
+            f"--allocator {args.allocator} --burst {args.burst} "
+            f"--steps {args.steps} --seed {args.seed}"
+        )
+        env = make_env(
+            preset["builder"](),
+            config=SystemConfig(consumer_budget=preset["budget"]),
+            seed=args.seed,
+            background_rates=dict(scenario.background_rates),
+            tracer=tracer,
+        )
+        result = evaluate_allocator(
+            _make_allocator(args.allocator), env, scenario, args.steps
+        )
+        print(
+            f"{result.allocator} on {result.scenario}: "
+            f"aggregated reward {result.aggregated_reward():.0f}, "
+            f"mean response time {result.mean_response_time():.1f} s"
+        )
+    else:
+        from repro.core.agent import MirasAgent
+
+        config_snapshot.update(iterations=args.iterations)
+        command = (
+            f"trace --dataset {args.dataset} --mode train "
+            f"--iterations {args.iterations} --seed {args.seed}"
+        )
+        env = make_env(
+            preset["builder"](),
+            config=SystemConfig(consumer_budget=preset["budget"]),
+            seed=args.seed,
+            background_rates=preset["rates"],
+            tracer=tracer,
+        )
+        agent = MirasAgent(env, preset["fast_config"](), seed=args.seed)
+        agent.iterate(iterations=args.iterations, verbose=True)
+    tracer.close()
+    manifest = RunManifest(
+        run_name=outdir.name,
+        seed=args.seed,
+        config=config_snapshot,
+        command=command,
+        package_version=repro.__version__,
+        sim_time_end=float(env.system.loop.now),
+        records_written=tracer.records_written,
+        counters=dict(tracer.counters),
+        wall_time=wall_time_now(),
+    )
+    manifest_path = write_manifest(outdir, manifest)
+    print(f"trace: {outdir / 'trace.jsonl'} "
+          f"({tracer.records_written} records)")
+    print(f"manifest: {manifest_path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import load_trace, read_manifest, render_report
+    from repro.telemetry.manifest import MANIFEST_FILENAME
+
+    path = Path(args.path)
+    records = load_trace(path, validate=args.validate)
+    print(render_report(records, title=f"Trace report: {args.path}"))
+    manifest_path = (path if path.is_dir() else path.parent) / MANIFEST_FILENAME
+    if manifest_path.exists():
+        manifest = read_manifest(manifest_path)
+        print(
+            f"\nrun {manifest.run_name!r}: seed {manifest.seed}, "
+            f"repro {manifest.package_version}, "
+            f"schema v{manifest.schema_version}, "
+            f"command `repro {manifest.command}`"
+        )
     return 0
 
 
@@ -229,6 +378,8 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "simulate": _cmd_simulate,
     "model-accuracy": _cmd_model_accuracy,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
 }
 
 

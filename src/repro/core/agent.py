@@ -31,6 +31,7 @@ from repro.core.model_env import ModelEnv
 from repro.core.refinement import RefinedModel
 from repro.rl.ddpg import DDPGAgent
 from repro.sim.env import MicroserviceEnv
+from repro.telemetry.tracer import Tracer
 from repro.utils.rng import RngStream, spawn_rngs
 
 __all__ = ["MirasAgent", "IterationResult"]
@@ -60,9 +61,13 @@ class MirasAgent:
         env: MicroserviceEnv,
         config: Optional[MirasConfig] = None,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         self.env = env
         self.config = config or MirasConfig()
+        #: Telemetry tracer; inherits the environment's system tracer so a
+        #: traced system automatically gets training-loop scalars too.
+        self.tracer = tracer if tracer is not None else env.system.tracer
         self._rngs = spawn_rngs(
             seed, ["collect", "model", "refine", "model-env", "ddpg"]
         )
@@ -73,12 +78,14 @@ class MirasAgent:
             hidden_sizes=self.config.model.hidden_sizes,
             learning_rate=self.config.model.learning_rate,
             rng=self._rngs["model"],
+            tracer=self.tracer,
         )
         self.ddpg = DDPGAgent(
             env.state_dim,
             env.action_dim,
             config=self.config.policy.ddpg,
             rng=self._rngs["ddpg"],
+            tracer=self.tracer,
         )
         self.refined_model: Optional[Union[RefinedModel, EnvironmentModel]] = None
         self.results: List[IterationResult] = []
@@ -170,6 +177,7 @@ class MirasAgent:
                 self.dataset,
                 percentile=self.config.model.refinement_percentile,
                 rng=self._rngs["refine"].fork(f"n{len(self.dataset)}"),
+                tracer=self.tracer,
             )
         else:
             self.refined_model = self.model
@@ -306,6 +314,7 @@ class MirasAgent:
             result.policy_rollouts = rollouts
             result.policy_mean_return = mean_return
             self.results.append(result)
+            self._trace_iteration(result)
             if result.eval_reward > best_reward:
                 best_reward = result.eval_reward
                 best_snapshot = self._snapshot_policy()
@@ -323,6 +332,47 @@ class MirasAgent:
         if self.config.keep_best_policy and best_snapshot is not None:
             self._restore_policy(best_snapshot)
         return self.results
+
+    def _trace_iteration(self, result: IterationResult) -> None:
+        """Emit the per-iteration scalars of one Algorithm 2 pass."""
+        if not self.tracer.enabled:
+            return
+        step = result.iteration
+        self.tracer.metric("train/model_loss", result.model_loss, step=step)
+        self.tracer.metric("train/eval_reward", result.eval_reward, step=step)
+        self.tracer.metric(
+            "train/eval_mean_wip", result.eval_mean_wip, step=step
+        )
+        self.tracer.metric(
+            "train/eval_mean_response_time",
+            result.eval_mean_response_time,
+            step=step,
+        )
+        self.tracer.metric(
+            "train/policy_rollouts", result.policy_rollouts, step=step
+        )
+        self.tracer.metric(
+            "train/policy_mean_return", result.policy_mean_return, step=step
+        )
+        self.tracer.metric(
+            "train/dataset_size", result.dataset_size, step=step
+        )
+        self.tracer.metric(
+            "train/param_noise_sigma",
+            self.ddpg.param_noise.sigma,
+            step=step,
+        )
+        if isinstance(self.refined_model, RefinedModel):
+            self.tracer.metric(
+                "train/refinement_lends",
+                self.refined_model.lend_count,
+                step=step,
+            )
+            self.tracer.metric(
+                "train/refinement_lend_delta",
+                self.refined_model.lend_delta_total,
+                step=step,
+            )
 
     def _snapshot_policy(self) -> dict:
         """Copy the actor/critic (and target) weights."""

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.dataset import TransitionDataset
 from repro.nn import MLP, Adam, MeanSquaredError
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_positive
 
@@ -51,6 +52,7 @@ class EnvironmentModel:
         rng: Optional[RngStream] = None,
         log_space: bool = True,
         predict_delta: bool = True,
+        tracer: Optional[Tracer] = None,
     ):
         check_positive("state_dim", state_dim)
         check_positive("action_dim", action_dim)
@@ -69,6 +71,9 @@ class EnvironmentModel:
         self.optimizer = Adam(learning_rate)
         self.loss = MeanSquaredError()
         self._rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Lifetime epoch counter (the `step` of model/epoch_loss metrics).
+        self.epochs_trained = 0
         in_dim = state_dim + action_dim
         self._norm: Dict[str, np.ndarray] = {
             "x_mean": np.zeros(in_dim),
@@ -150,7 +155,13 @@ class EnvironmentModel:
                         loss=self.loss,
                     )
                 )
-            history.append(float(np.mean(losses)))
+            epoch_loss = float(np.mean(losses))
+            history.append(epoch_loss)
+            self.epochs_trained += 1
+            if self.tracer.enabled:
+                self.tracer.metric(
+                    "model/epoch_loss", epoch_loss, step=self.epochs_trained
+                )
         self.trained = True
         return history
 
@@ -162,6 +173,10 @@ class EnvironmentModel:
         x_n = (x - self._norm["x_mean"]) / self._norm["x_std"]
         y_n = (y - self._norm["y_mean"]) / self._norm["y_std"]
         value, _ = self.loss(self.network.forward(x_n), y_n)
+        if self.tracer.enabled:
+            self.tracer.metric(
+                "model/val_loss", value, step=self.epochs_trained
+            )
         return value
 
     # Prediction -------------------------------------------------------------

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream, fallback_stream
 
 __all__ = ["RefinedModel"]
@@ -40,6 +41,7 @@ class RefinedModel:
         tau: np.ndarray,
         omega: np.ndarray,
         rng: Optional[RngStream] = None,
+        tracer: Optional[Tracer] = None,
     ):
         tau = np.asarray(tau, dtype=np.float64)
         omega = np.asarray(omega, dtype=np.float64)
@@ -57,8 +59,11 @@ class RefinedModel:
         self.tau = tau
         self.omega = omega
         self._rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Count of Lend–Giveback activations (for tests/ablation).
         self.lend_count = 0
+        #: Sum of |refined - raw| corrections (the lend–giveback delta).
+        self.lend_delta_total = 0.0
 
     @classmethod
     def from_dataset(
@@ -68,6 +73,7 @@ class RefinedModel:
         percentile: float = 20.0,
         rng: Optional[RngStream] = None,
         tau_floor: float = 1.0,
+        tracer: Optional[Tracer] = None,
     ) -> "RefinedModel":
         """Initialise tau/omega by "simple statistical analysis" over D.
 
@@ -79,7 +85,7 @@ class RefinedModel:
         tau, omega = dataset.wip_percentiles(percentile)
         tau = np.maximum(tau, tau_floor)
         omega = np.maximum(omega, tau + tau_floor)
-        return cls(model, tau, omega, rng=rng)
+        return cls(model, tau, omega, rng=rng, tracer=tracer)
 
     @property
     def state_dim(self) -> int:
@@ -119,6 +125,9 @@ class RefinedModel:
             predicted = self.model.predict(lent, action)
             refined[j] = max(predicted[j] - rho, 0.0)  # Giveback
             self.lend_count += 1
+            self.lend_delta_total += abs(refined[j] - max(base[j], 0.0))
+            if self.tracer.enabled:
+                self.tracer.count("refinement/lends")
         return refined
 
     def rollout(

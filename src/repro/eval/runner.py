@@ -16,6 +16,7 @@ import numpy as np
 from repro.baselines.base import Allocator
 from repro.sim.env import MicroserviceEnv
 from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
+from repro.telemetry.tracer import Tracer
 from repro.workflows.dag import WorkflowEnsemble
 from repro.workload.arrivals import PoissonArrivalProcess
 from repro.workload.bursts import BurstScenario
@@ -108,9 +109,12 @@ def make_env(
     config: Optional[SystemConfig] = None,
     seed: int = 0,
     background_rates: Optional[Dict[str, float]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> MicroserviceEnv:
     """Build a system + Poisson background workload + env in one call."""
-    system = MicroserviceWorkflowSystem(ensemble, config, seed=seed)
+    system = MicroserviceWorkflowSystem(
+        ensemble, config, seed=seed, tracer=tracer
+    )
     if background_rates:
         PoissonArrivalProcess(background_rates).attach(system)
     return MicroserviceEnv(system)

@@ -28,10 +28,15 @@ from repro.rl.noise import (
     project_to_simplex,
 )
 from repro.rl.replay import ReplayBuffer
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_in_range, check_positive
 
 __all__ = ["DDPGConfig", "DDPGAgent"]
+
+#: Emit ddpg/* metrics every this many updates when tracing is on — one
+#: record per update would dominate the trace during policy training.
+METRIC_INTERVAL = 50
 
 
 @dataclass
@@ -93,11 +98,13 @@ class DDPGAgent:
         action_dim: int,
         config: Optional[DDPGConfig] = None,
         rng: Optional[RngStream] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config or DDPGConfig()
         if rng is None:
             rng = fallback_stream("ddpg")
         self.rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.state_dim = state_dim
         self.action_dim = action_dim
         cfg = self.config
@@ -237,6 +244,16 @@ class DDPGAgent:
         soft_update(self.actor.target_network, self.actor.network, cfg.tau)
         soft_update(self.critic.target_network, self.critic.network, cfg.tau)
         self.updates_done += 1
+        if self.tracer.enabled and self.updates_done % METRIC_INTERVAL == 0:
+            self.tracer.metric(
+                "ddpg/critic_loss", critic_loss, step=self.updates_done
+            )
+            self.tracer.metric("ddpg/mean_q", mean_q, step=self.updates_done)
+            self.tracer.metric(
+                "ddpg/param_noise_sigma",
+                self.param_noise.sigma,
+                step=self.updates_done,
+            )
         return critic_loss, mean_q
 
     def update_many(self, num_updates: int) -> float:

@@ -9,7 +9,9 @@ balanced scheduler converges to and optimal for unit-size items.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["Node", "Cluster", "CapacityError"]
 
@@ -49,10 +51,16 @@ class Node:
 class Cluster:
     """A pool of nodes with least-loaded container placement."""
 
-    def __init__(self, num_nodes: int = 3, node_capacity: int = 8):
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        node_capacity: int = 8,
+        tracer: Optional[Tracer] = None,
+    ):
         if num_nodes < 1:
             raise ValueError(f"need at least one node, got {num_nodes}")
         self.nodes: List[Node] = [Node(i, node_capacity) for i in range(num_nodes)]
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def total_capacity(self) -> int:
@@ -74,11 +82,19 @@ class Cluster:
                 f"cluster full: {self.total_used}/{self.total_capacity} slots used"
             )
         best.allocate()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "event.placement", node=best.node_id, used=best.used
+            )
         return best
 
     def release(self, node: Node) -> None:
         """Free one slot previously obtained from :meth:`place`."""
         node.release()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "event.release", node=node.node_id, used=node.used
+            )
 
     def load_by_node(self) -> Dict[int, int]:
         """Used slots per node (for load-balance assertions)."""

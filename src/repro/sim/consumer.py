@@ -62,9 +62,15 @@ class Consumer:
 
     def __init__(self, microservice: "Microservice", node: "Node"):
         self.consumer_id = next(_consumer_ids)
+        #: Run-local id used in trace records: the process-global
+        #: ``consumer_id`` differs between same-seed runs in one process,
+        #: which would break trace byte-reproducibility.
+        self.trace_id: int = microservice.consumers_started
         self.microservice = microservice
         self.node = node
         self.state = ConsumerState.STARTING
+        #: Simulation time of container creation (start-up latency origin).
+        self.created_at: float = microservice.loop.now
         self.current_tag: Optional[DeliveryTag] = None
         self.current_request: Optional[TaskRequest] = None
         self.processing_started_at: float = 0.0

@@ -46,6 +46,10 @@ def crash_one_consumer(microservice: Microservice) -> bool:
     if victim is None:
         return False
 
+    if microservice.tracer.enabled:
+        microservice.tracer.emit(
+            "event.fault", fault="consumer_crash", target=microservice.name
+        )
     if victim.pending_event is not None:
         victim.pending_event.cancel()
         victim.pending_event = None
@@ -135,11 +139,22 @@ class ChaosInjector:
             victim = healthy[int(self.rng.integers(0, len(healthy)))]
             tds.fail_server(victim)
             self.outages_injected += 1
+            if self.system.tracer.enabled:
+                self.system.tracer.emit(
+                    "event.fault", fault="tds_outage", target=victim
+                )
             self.system.loop.schedule(
                 self.tds_outage_duration,
-                lambda server_id=victim: tds.recover_server(server_id),
+                lambda server_id=victim: self._recover(server_id),
             )
         self._schedule_outage()
+
+    def _recover(self, server_id: int) -> None:
+        self.system.tds.recover_server(server_id)
+        if self.system.tracer.enabled:
+            self.system.tracer.emit(
+                "event.fault", fault="tds_recover", target=server_id
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

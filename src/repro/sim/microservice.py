@@ -25,13 +25,14 @@ queue and a set of consumers subscribing to the queue to handle requests"
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.cluster import Cluster
 from repro.sim.consumer import Consumer, ConsumerState, sample_service_time
 from repro.sim.events import EventLoop
 from repro.sim.queueing import AckQueue
 from repro.sim.requests import TaskRequest
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream
 from repro.utils.validation import require
 from repro.workflows.dag import TaskType
@@ -54,6 +55,7 @@ class Microservice:
         on_task_complete: TaskCompletionCallback,
         startup_delay_range: Tuple[float, float] = (5.0, 10.0),
         scale_down_mode: str = "drain",
+        tracer: Optional[Tracer] = None,
     ):
         low, high = startup_delay_range
         if not 0 <= low <= high:
@@ -72,8 +74,9 @@ class Microservice:
         self.on_task_complete = on_task_complete
         self.startup_delay_range = startup_delay_range
         self.scale_down_mode = scale_down_mode
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
-        self.queue = AckQueue(task_type.name)
+        self.queue = AckQueue(task_type.name, tracer=self.tracer)
         self.queue.subscribe(self._dispatch)
         self.consumers: List[Consumer] = []
         #: Busy consumers finishing their last task before exiting
@@ -114,12 +117,27 @@ class Microservice:
         consumer.pending_event = self.loop.schedule(
             delay, lambda c=consumer: self._on_started(c)
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.consumer_start",
+                service=self.name,
+                consumer_id=consumer.trace_id,
+                node=node.node_id,
+                startup_delay=delay,
+            )
 
     def _on_started(self, consumer: Consumer) -> None:
         if consumer.state is not ConsumerState.STARTING:
             return  # was killed while starting; activation already cancelled
         consumer.state = ConsumerState.IDLE
         consumer.pending_event = None
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.consumer_ready",
+                service=self.name,
+                consumer_id=consumer.trace_id,
+                startup_latency=self.loop.now - consumer.created_at,
+            )
         self._dispatch()
 
     def _remove_one_consumer(self) -> None:
@@ -130,12 +148,18 @@ class Microservice:
             # The consumer leaves the allocation count immediately.
             self.consumers.remove(victim)
             self.draining.append(victim)
+            self._trace_stop(victim, "drain")
             return
         if victim.pending_event is not None:
             victim.pending_event.cancel()
             victim.pending_event = None
         if victim.state is ConsumerState.STARTING:
             self.consumers_killed_starting += 1
+            self._trace_stop(victim, "cancel-starting")
+        elif victim.state is ConsumerState.BUSY:
+            self._trace_stop(victim, "kill")
+        else:
+            self._trace_stop(victim, "idle")
         if victim.state is ConsumerState.BUSY:
             # Kill mode: the in-flight request is redelivered; elapsed
             # work is wasted.
@@ -152,6 +176,16 @@ class Microservice:
         victim.state = ConsumerState.STOPPED
         self.consumers.remove(victim)
         self.cluster.release(victim.node)
+
+    def _trace_stop(self, consumer: Consumer, mode: str) -> None:
+        """Emit a container-removal event (no-op when tracing is off)."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.consumer_stop",
+                service=self.name,
+                consumer_id=consumer.trace_id,
+                mode=mode,
+            )
 
     def _pick_victim(self) -> Consumer:
         for state in (ConsumerState.STARTING, ConsumerState.IDLE):
@@ -201,6 +235,7 @@ class Microservice:
             consumer.state = ConsumerState.STOPPED
             self.draining.remove(consumer)
             self.cluster.release(consumer.node)
+            self._trace_stop(consumer, "drained")
         else:
             consumer.state = ConsumerState.IDLE
         self.on_task_complete(request, now)

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.sim.requests import TaskRequest
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["AckQueue", "DeliveryTag", "QueueError"]
 
@@ -34,10 +35,11 @@ class QueueError(RuntimeError):
 class AckQueue:
     """FIFO task-request queue with unacked-message tracking."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, tracer: Optional[Tracer] = None):
         if not name:
             raise ValueError("queue name must be non-empty")
         self.name = name
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._ready: Deque[TaskRequest] = deque()
         self._unacked: Dict[DeliveryTag, TaskRequest] = {}
         self._tags = itertools.count(1)
@@ -57,6 +59,10 @@ class AckQueue:
             )
         self._ready.append(request)
         self.published_total += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "event.publish", queue=self.name, depth=self.depth
+            )
         self._notify()
 
     def subscribe(self, callback: Callable[[], None]) -> None:
@@ -101,6 +107,10 @@ class AckQueue:
             raise QueueError(f"unknown or already-settled delivery tag {tag}")
         self._ready.appendleft(request)
         self.redelivered_total += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "event.redeliver", queue=self.name, depth=self.depth
+            )
         self._notify()
         return request
 

@@ -25,6 +25,7 @@ from repro.sim.metrics import (
 from repro.sim.microservice import Microservice
 from repro.sim.requests import TaskRequest, WorkflowRequest
 from repro.sim.tds import TaskDependencyService
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream, spawn_rngs
 from repro.utils.validation import check_positive
 from repro.workflows.dag import WorkflowEnsemble
@@ -112,10 +113,16 @@ class MicroserviceWorkflowSystem:
         ensemble: WorkflowEnsemble,
         config: Optional[SystemConfig] = None,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         self.ensemble = ensemble
         self.config = config or SystemConfig()
         self.loop = EventLoop()
+        #: Telemetry tracer shared by every component of this system;
+        #: defaults to the disabled NULL_TRACER (near-zero overhead).
+        #: Timestamps come from the simulation clock, never wall time.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self.loop.now)
         self._rngs = spawn_rngs(
             seed, ["service_times", "startup", "workload", "misc"]
         )
@@ -125,6 +132,7 @@ class MicroserviceWorkflowSystem:
             node_capacity=self.config.resolved_node_capacity(
                 ensemble.num_task_types
             ),
+            tracer=self.tracer,
         )
         self.tds = TaskDependencyService(
             ensemble, replicas=self.config.tds_replicas
@@ -139,6 +147,7 @@ class MicroserviceWorkflowSystem:
                 on_task_complete=self._on_task_complete,
                 startup_delay_range=self.config.startup_delay_range,
                 scale_down_mode=self.config.scale_down_mode,
+                tracer=self.tracer,
             )
         self.invoker = WorkflowInvoker(
             self.loop,
@@ -157,6 +166,11 @@ class MicroserviceWorkflowSystem:
         self._window_task_completions: Dict[str, int] = {}
         self._arrival_window_of: Dict[int, int] = {}
         self._arrival_callbacks: List[Callable[[WorkflowRequest], None]] = []
+        # Run-local request ids for trace records: the invoker's global
+        # request_id counter differs between same-seed runs in one
+        # process, which would break trace byte-reproducibility.
+        self._requests_traced = 0
+        self._trace_request_ids: Dict[int, int] = {}
 
     # Workload interface -------------------------------------------------
     @property
@@ -172,6 +186,14 @@ class MicroserviceWorkflowSystem:
         )
         self._arrival_window_of[request.request_id] = self.window_index
         self.delay_tracker.record_arrival(self.window_index, workflow_type)
+        if self.tracer.enabled:
+            self._trace_request_ids[request.request_id] = self._requests_traced
+            self.tracer.emit(
+                "event.arrival",
+                workflow=workflow_type,
+                request_id=self._requests_traced,
+            )
+            self._requests_traced += 1
         return request
 
     def inject_burst(self, counts: Mapping[str, int]) -> List[WorkflowRequest]:
@@ -205,6 +227,15 @@ class MicroserviceWorkflowSystem:
         arrival_window = self._arrival_window_of.pop(request.request_id, None)
         if arrival_window is not None:
             self.delay_tracker.record_completion(arrival_window, wf_type, delay)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.workflow_complete",
+                workflow=wf_type,
+                request_id=self._trace_request_ids.pop(
+                    request.request_id, -1
+                ),
+                response_time=delay,
+            )
 
     # Control surface --------------------------------------------------------
     def apply_allocation(self, allocation: Sequence[int]) -> None:
@@ -280,6 +311,32 @@ class MicroserviceWorkflowSystem:
             task_publishes=task_publishes,
         )
         self.history.append(observation)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "span.window",
+                index=self.window_index,
+                start=start,
+                end=end,
+                reward=observation.reward,
+                wip={n: ms.wip for n, ms in self.microservices.items()},
+                allocation={
+                    n: ms.allocated for n, ms in self.microservices.items()
+                },
+                busy={
+                    n: ms.busy_consumers
+                    for n, ms in self.microservices.items()
+                },
+                starting={
+                    n: ms.starting_consumers
+                    for n, ms in self.microservices.items()
+                },
+                queue_ready={
+                    n: ms.queue.ready_count
+                    for n, ms in self.microservices.items()
+                },
+                arrivals=sum(self._window_arrivals.values()),
+                completions=sum(self._window_completions.values()),
+            )
         self.window_index += 1
         self._window_arrivals = {}
         self._window_completions = {}

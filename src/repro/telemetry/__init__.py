@@ -1,0 +1,71 @@
+"""Telemetry: deterministic tracing and metrics for the reproduction.
+
+The observability layer of docs/OBSERVABILITY.md:
+
+- :mod:`repro.telemetry.tracer` — the :class:`Tracer` every instrumented
+  component emits through (simulation-clock timestamps, no-op by default),
+- :mod:`repro.telemetry.sinks` — record destinations (null / in-memory /
+  JSONL file),
+- :mod:`repro.telemetry.records` — the record-kind registry and schemas,
+- :mod:`repro.telemetry.manifest` — per-run provenance documents,
+- :mod:`repro.telemetry.report` — trace file → summary tables (the
+  ``repro report`` CLI).
+
+Typical use::
+
+    from repro.telemetry import JsonlSink, Tracer
+
+    tracer = Tracer(JsonlSink("runs/demo/trace.jsonl"))
+    system = MicroserviceWorkflowSystem(ensemble, config, seed=0,
+                                        tracer=tracer)
+    ...
+    tracer.close()
+"""
+
+from repro.telemetry.manifest import (
+    NONDETERMINISTIC_FIELDS,
+    RunManifest,
+    read_manifest,
+    wall_time_now,
+    write_manifest,
+)
+from repro.telemetry.records import (
+    ENVELOPE_FIELDS,
+    RECORD_SCHEMAS,
+    SCHEMA_VERSION,
+    validate_record,
+)
+from repro.telemetry.report import (
+    consumer_summary,
+    load_trace,
+    queue_summary,
+    render_report,
+    training_curves,
+    utilization_summary,
+)
+from repro.telemetry.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "SCHEMA_VERSION",
+    "ENVELOPE_FIELDS",
+    "RECORD_SCHEMAS",
+    "validate_record",
+    "RunManifest",
+    "NONDETERMINISTIC_FIELDS",
+    "wall_time_now",
+    "write_manifest",
+    "read_manifest",
+    "load_trace",
+    "utilization_summary",
+    "queue_summary",
+    "consumer_summary",
+    "training_curves",
+    "render_report",
+]

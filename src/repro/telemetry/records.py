@@ -1,0 +1,94 @@
+"""Trace record kinds and schemas.
+
+Every record a :class:`~repro.telemetry.tracer.Tracer` emits is a flat
+JSON-serialisable dict with a two-field envelope:
+
+- ``kind`` — one of the registered kinds below,
+- ``t`` — the *simulation-clock* timestamp (seconds since the run's
+  event-loop epoch), or ``None`` for records emitted before a clock is
+  bound.  Wall-clock time never appears in trace records (reprolint D102);
+  it lives only in the run manifest, where determinism tests explicitly
+  ignore it.
+
+The schema registry is the contract between the emitting instrumentation
+(``repro.sim``, ``repro.core``, ``repro.rl``) and the consuming side
+(``repro.telemetry.report``, the ``repro report`` CLI): a record must
+carry exactly the envelope plus the registered payload fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ENVELOPE_FIELDS",
+    "RECORD_SCHEMAS",
+    "validate_record",
+]
+
+#: Bumped whenever a record schema changes shape; written to the manifest
+#: so downstream tooling can refuse traces it does not understand.
+SCHEMA_VERSION = 1
+
+#: Fields present on every record regardless of kind.
+ENVELOPE_FIELDS: FrozenSet[str] = frozenset({"kind", "t"})
+
+#: kind -> required payload fields (exactly these, plus the envelope).
+RECORD_SCHEMAS: Dict[str, FrozenSet[str]] = {
+    # One control window (the paper's 30 s step): per-microservice state
+    # at the window boundary.  ``wip``/``allocation``/``busy``/``starting``
+    # /``queue_ready`` are {microservice_name: int} maps.
+    "span.window": frozenset({
+        "index", "start", "end", "reward", "wip", "allocation", "busy",
+        "starting", "queue_ready", "arrivals", "completions",
+    }),
+    # A workflow request entering the system.
+    "event.arrival": frozenset({"workflow", "request_id"}),
+    # A workflow request leaving the system (all tasks done).
+    "event.workflow_complete": frozenset({
+        "workflow", "request_id", "response_time",
+    }),
+    # A task request published to a microservice queue.
+    "event.publish": frozenset({"queue", "depth"}),
+    # A nacked task request requeued at the front (kill / crash path).
+    "event.redeliver": frozenset({"queue", "depth"}),
+    # Container lifecycle: creation (start-up latency begins), readiness
+    # (first consume possible), removal (mode: drain / kill /
+    # cancel-starting / idle / drained).
+    "event.consumer_start": frozenset({
+        "service", "consumer_id", "node", "startup_delay",
+    }),
+    "event.consumer_ready": frozenset({
+        "service", "consumer_id", "startup_latency",
+    }),
+    "event.consumer_stop": frozenset({"service", "consumer_id", "mode"}),
+    # Cluster slot accounting (Kubernetes scheduler analog).
+    "event.placement": frozenset({"node", "used"}),
+    "event.release": frozenset({"node", "used"}),
+    # Injected faults: consumer_crash / tds_outage / tds_recover.
+    "event.fault": frozenset({"fault", "target"}),
+    # A named scalar (training-loop instrumentation).  ``step`` is the
+    # producer's own counter (iteration, epoch, update index) or None.
+    "metric": frozenset({"name", "value", "step"}),
+}
+
+
+def validate_record(record: Dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches its registered schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"record must be a dict, got {type(record).__name__}")
+    kind = record.get("kind")
+    if kind not in RECORD_SCHEMAS:
+        raise ValueError(f"unknown record kind {kind!r}")
+    missing = ENVELOPE_FIELDS - record.keys()
+    if missing:
+        raise ValueError(f"{kind} record missing envelope fields {sorted(missing)}")
+    expected = RECORD_SCHEMAS[kind]
+    payload = record.keys() - ENVELOPE_FIELDS
+    if payload != expected:
+        extra = sorted(payload - expected)
+        absent = sorted(expected - payload)
+        raise ValueError(
+            f"{kind} record payload mismatch: missing={absent}, unexpected={extra}"
+        )

@@ -1,0 +1,253 @@
+"""Trace analysis: turn a JSONL trace into summary tables.
+
+Consumes the records emitted by the instrumented simulator and training
+loop (schemas in :mod:`repro.telemetry.records`) and produces the three
+summaries the ``repro report`` CLI prints:
+
+- **per-microservice utilization** — mean WIP, allocation, busy
+  consumers, busy/allocated utilization over all windows,
+- **queue depth** — mean/peak ready depth, publishes, redeliveries,
+- **training curves** — one row per iteration of Algorithm 2 (model
+  loss, eval reward, parameter-noise sigma, ...), the textual Fig. 6.
+
+All functions take a list of record dicts, so they work on a loaded
+trace file, a :class:`~repro.telemetry.sinks.MemorySink`, or any slice.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.telemetry.records import validate_record
+
+__all__ = [
+    "load_trace",
+    "utilization_summary",
+    "queue_summary",
+    "consumer_summary",
+    "training_curves",
+    "render_report",
+]
+
+
+def load_trace(
+    path: Union[str, Path], validate: bool = False
+) -> List[Dict]:
+    """Read a JSONL trace file (or a run directory holding ``trace.jsonl``).
+
+    With ``validate=True`` every record is checked against its registered
+    schema — useful in tests and when ingesting traces from older runs.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    records: List[Dict] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSON ({exc})"
+                ) from exc
+            if validate:
+                validate_record(record)
+            records.append(record)
+    return records
+
+
+def _windows(records: Sequence[Dict]) -> List[Dict]:
+    return [r for r in records if r.get("kind") == "span.window"]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def utilization_summary(records: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
+    """Per-microservice means over all windows.
+
+    Returns ``{service: {mean_wip, mean_allocation, mean_busy,
+    utilization}}`` where utilization is busy consumers divided by
+    allocated consumers, averaged over windows with a non-zero
+    allocation.
+    """
+    windows = _windows(records)
+    services: List[str] = []
+    for window in windows:
+        for name in window["wip"]:
+            if name not in services:
+                services.append(name)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name in services:
+        wip = [float(w["wip"].get(name, 0)) for w in windows]
+        alloc = [float(w["allocation"].get(name, 0)) for w in windows]
+        busy = [float(w["busy"].get(name, 0)) for w in windows]
+        ratios = [b / a for b, a in zip(busy, alloc) if a > 0]
+        summary[name] = {
+            "mean_wip": _mean(wip),
+            "mean_allocation": _mean(alloc),
+            "mean_busy": _mean(busy),
+            "utilization": _mean(ratios),
+        }
+    return summary
+
+
+def queue_summary(records: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
+    """Per-queue depth statistics and publish/redeliver totals."""
+    windows = _windows(records)
+    summary: Dict[str, Dict[str, float]] = {}
+    for window in windows:
+        for name, depth in window["queue_ready"].items():
+            stats = summary.setdefault(
+                name,
+                {"mean_depth": 0.0, "peak_depth": 0.0,
+                 "publishes": 0, "redeliveries": 0, "_depths": []},
+            )
+            stats["_depths"].append(float(depth))
+    for record in records:
+        kind = record.get("kind")
+        if kind == "event.publish":
+            stats = summary.setdefault(
+                record["queue"],
+                {"mean_depth": 0.0, "peak_depth": 0.0,
+                 "publishes": 0, "redeliveries": 0, "_depths": []},
+            )
+            stats["publishes"] += 1
+        elif kind == "event.redeliver":
+            stats = summary.setdefault(
+                record["queue"],
+                {"mean_depth": 0.0, "peak_depth": 0.0,
+                 "publishes": 0, "redeliveries": 0, "_depths": []},
+            )
+            stats["redeliveries"] += 1
+    for stats in summary.values():
+        depths = stats.pop("_depths")
+        stats["mean_depth"] = _mean(depths)
+        stats["peak_depth"] = max(depths) if depths else 0.0
+    return summary
+
+
+def consumer_summary(records: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
+    """Per-microservice container-lifecycle statistics.
+
+    ``mean_startup_latency`` is measured over ``event.consumer_ready``
+    records — the observed creation-to-first-consume delay the paper
+    reports as 5–10 s on Kubernetes.
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    latencies: Dict[str, List[float]] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind not in (
+            "event.consumer_start", "event.consumer_ready",
+            "event.consumer_stop",
+        ):
+            continue
+        name = record["service"]
+        stats = summary.setdefault(
+            name, {"started": 0, "ready": 0, "stopped": 0,
+                   "mean_startup_latency": 0.0},
+        )
+        if kind == "event.consumer_start":
+            stats["started"] += 1
+        elif kind == "event.consumer_ready":
+            stats["ready"] += 1
+            latencies.setdefault(name, []).append(
+                float(record["startup_latency"])
+            )
+        else:
+            stats["stopped"] += 1
+    for name, stats in summary.items():
+        stats["mean_startup_latency"] = _mean(latencies.get(name, []))
+    return summary
+
+
+def training_curves(records: Sequence[Dict]) -> Dict[str, Dict[int, float]]:
+    """Metric series keyed by name then step.
+
+    Only metrics with an integer ``step`` participate (per-iteration and
+    per-epoch scalars); unstepped metrics are skipped.  Later emissions
+    for the same (name, step) overwrite earlier ones.
+    """
+    curves: Dict[str, Dict[int, float]] = {}
+    for record in records:
+        if record.get("kind") != "metric" or record.get("step") is None:
+            continue
+        curves.setdefault(record["name"], {})[int(record["step"])] = float(
+            record["value"]
+        )
+    return curves
+
+
+def render_report(
+    records: Sequence[Dict], title: Optional[str] = None
+) -> str:
+    """Render the full textual report (what ``repro report`` prints)."""
+    from repro.eval.reporting import format_table
+
+    sections: List[str] = []
+    if title:
+        sections.append(title)
+
+    windows = _windows(records)
+    sections.append(
+        f"{len(records)} records, {len(windows)} windows, "
+        f"sim time {windows[-1]['end']:.0f}s" if windows
+        else f"{len(records)} records, no window spans"
+    )
+
+    util = utilization_summary(records)
+    if util:
+        sections.append(format_table(
+            ["microservice", "mean WIP", "mean alloc", "mean busy", "util"],
+            [
+                [name, s["mean_wip"], s["mean_allocation"],
+                 s["mean_busy"], s["utilization"]]
+                for name, s in util.items()
+            ],
+            title="Per-microservice utilization",
+        ))
+
+    queues = queue_summary(records)
+    if queues:
+        sections.append(format_table(
+            ["queue", "mean depth", "peak depth", "publishes", "redeliveries"],
+            [
+                [name, s["mean_depth"], s["peak_depth"],
+                 int(s["publishes"]), int(s["redeliveries"])]
+                for name, s in queues.items()
+            ],
+            title="Queue depth",
+        ))
+
+    consumers = consumer_summary(records)
+    if consumers:
+        sections.append(format_table(
+            ["microservice", "started", "ready", "stopped", "mean startup (s)"],
+            [
+                [name, int(s["started"]), int(s["ready"]),
+                 int(s["stopped"]), s["mean_startup_latency"]]
+                for name, s in consumers.items()
+            ],
+            title="Container lifecycle",
+        ))
+
+    curves = training_curves(records)
+    if curves:
+        names = sorted(curves)
+        steps = sorted({step for series in curves.values() for step in series})
+        rows = [
+            [step, *[curves[name].get(step, "-") for name in names]]
+            for step in steps
+        ]
+        sections.append(format_table(
+            ["step", *names], rows, title="Training curves",
+        ))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,91 @@
+"""Trace sinks: where emitted records go.
+
+A sink is anything with ``write(record)``/``flush()``/``close()``.  The
+tracer never serialises records itself — the sink owns the encoding — so
+an in-memory sink costs one list append per record and the no-op sink
+costs nothing at all (the tracer short-circuits before building the
+record dict; see :class:`repro.telemetry.tracer.Tracer`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink"]
+
+
+class Sink:
+    """Interface for trace-record consumers."""
+
+    def write(self, record: Dict) -> None:
+        """Consume one record (a flat JSON-serialisable dict)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered records to their destination (default: no-op)."""
+
+    def close(self) -> None:
+        """Release resources; further writes are an error (default: no-op)."""
+
+
+class NullSink(Sink):
+    """Discards everything.  The tracer treats it as "tracing disabled"."""
+
+    def write(self, record: Dict) -> None:
+        """Drop the record."""
+
+
+class MemorySink(Sink):
+    """Keeps records in a list — for tests and in-process analysis."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def write(self, record: Dict) -> None:
+        """Append the record to :attr:`records`."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per line to a file (the trace format).
+
+    Keys are written in insertion order (the envelope first), values with
+    ``json.dumps`` defaults plus ``sort_keys=False`` — re-running the same
+    seeded experiment byte-reproduces the file.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: Optional = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def write(self, record: Dict) -> None:
+        """Serialise and append one record line."""
+        if self._file is None:
+            raise RuntimeError(f"sink for {self.path} is closed")
+        self._file.write(json.dumps(record, separators=(",", ":")))
+        self._file.write("\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        """Flush the underlying file buffer."""
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the file; idempotent."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -34,6 +34,7 @@ class TestExamples:
             "custom_workflow.py",
             "save_and_deploy.py",
             "capacity_planning.py",
+            "tracing_tour.py",
         } <= present
 
     def test_infrastructure_tour_runs(self, capsys):
@@ -41,6 +42,15 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "request conservation holds: True" in out
         assert "TDS dependency queries" in out
+
+    def test_tracing_tour_runs(self, capsys):
+        run_example("tracing_tour.py")
+        out = capsys.readouterr().out
+        assert "record kinds:" in out
+        assert "('consumer_crash', 'Preprocess')" in out
+        assert "Per-microservice utilization" in out
+        assert "Training curves" in out
+        assert "manifest round-trip ok: True" in out
 
     def test_custom_workflow_builder(self):
         """The custom ensemble in the example is a valid ensemble."""
