@@ -7,7 +7,7 @@ comparison results without failing a single test.  This package walks the
 ``src/repro`` tree with :mod:`ast` and rejects that defect class
 statically, before it costs a training run.
 
-Rule families (see ``docs/LINTING.md`` for the full reference):
+Per-file rule families (see ``docs/LINTING.md`` for the full reference):
 
 - **D1** — ambient nondeterminism (D101 stdlib/global-numpy randomness,
   D102 wall-clock reads),
@@ -17,16 +17,37 @@ Rule families (see ``docs/LINTING.md`` for the full reference):
 - **A1** — public-API consistency in package ``__init__`` files (A101
   broken exports, A102 missing docstrings, A103 ``__all__`` mismatches).
 
-Run it with ``python -m repro.analysis`` or ``repro lint``.  Findings can
-be suppressed inline with ``# reprolint: disable=RULE`` or ratcheted via a
-baseline file; configuration lives in ``[tool.reprolint]`` in
-pyproject.toml.
+Cross-module families, consuming the cached whole-tree
+:class:`~repro.analysis.index.ProjectIndex`:
+
+- **R1** — RNG fork-label provenance (R101 duplicate labels on one
+  parent stream, R102 constant labels in loops, R103 forks in default
+  arguments),
+- **T1** — telemetry conformance of every ``tracer.emit`` site against
+  the ``RECORD_SCHEMAS`` registry as written (T101 unknown kind, T102
+  payload drift, T103 statically unresolvable sites),
+- **E1** — event discipline: sim-owned state mutated only from the
+  event-loop/step path (E101) and never from other layers (E102),
+- **L1** — the import DAG of docs/ARCHITECTURE.md at module scope
+  (L101).
+
+:mod:`repro.analysis.sanitizer` is the runtime twin of R1/T1: activated
+via ``REPRO_SANITIZE=1`` (or :func:`~repro.analysis.sanitizer.sanitized`),
+it asserts fork-label uniqueness and record-schema validity on the
+running program.
+
+Run the static pass with ``python -m repro.analysis`` or ``repro lint``.
+Findings can be suppressed inline with ``# reprolint: disable=RULE`` or
+ratcheted via a baseline file (stale entries fail the run);
+configuration lives in ``[tool.reprolint]`` in pyproject.toml.
 """
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import LintConfig, load_config
+from repro.analysis.crossrules import ProjectChecker, all_project_checkers
 from repro.analysis.engine import AnalysisResult, run_analysis
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import ProjectIndex, build_index
 from repro.analysis.rules import Checker, all_checkers, all_rule_ids
 
 __all__ = [
@@ -35,9 +56,13 @@ __all__ = [
     "Checker",
     "Finding",
     "LintConfig",
+    "ProjectChecker",
+    "ProjectIndex",
     "Severity",
     "all_checkers",
+    "all_project_checkers",
     "all_rule_ids",
+    "build_index",
     "load_config",
     "run_analysis",
 ]

@@ -91,5 +91,23 @@ class Baseline:
                 reported.append(finding)
         return reported, waived
 
+    def stale_entries(
+        self, findings: List[Finding]
+    ) -> List[Tuple[str, str, int]]:
+        """Allowances not fully consumed by ``findings``.
+
+        A stale entry means a baselined violation was fixed but the
+        ratchet file still waives it — the waiver must be dropped
+        (``--update-baseline``) so it cannot mask a future regression.
+        Returns ``(path, rule, unused_count)`` triples, sorted.
+        """
+        seen = Counter((f.path, f.rule) for f in findings)
+        stale: List[Tuple[str, str, int]] = []
+        for (path, rule), allowed in sorted(self.allowances.items()):
+            unused = allowed - seen.get((path, rule), 0)
+            if unused > 0:
+                stale.append((path, rule, unused))
+        return stale
+
     def __len__(self) -> int:
         return sum(self.allowances.values())

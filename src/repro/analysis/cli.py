@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule reference and exit",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="rebuild the project index instead of using the on-disk cache",
+    )
     return parser
 
 
@@ -92,6 +96,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.baseline:
         config.baseline = args.baseline
+    if args.no_cache:
+        config.cache = None
     baseline_path = config.baseline_path()
 
     paths = (
@@ -138,6 +144,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _print_text(result: AnalysisResult) -> None:
     for finding in result.findings:
         print(finding.format_text())
+    for path, rule, unused in result.stale_baseline:
+        print(
+            f"{path}: stale baseline entry: {unused} waived {rule} "
+            "finding(s) no longer fire; run --update-baseline to ratchet "
+            "the allowance down"
+        )
     summary = (
         f"reprolint: {len(result.findings)} finding(s) in "
         f"{result.checked_files} file(s)"
@@ -147,16 +159,38 @@ def _print_text(result: AnalysisResult) -> None:
         extras.append(f"{len(result.suppressed)} suppressed inline")
     if result.baselined:
         extras.append(f"{len(result.baselined)} waived by baseline")
+    if result.stale_baseline:
+        extras.append(f"{len(result.stale_baseline)} stale baseline entries")
     if extras:
         summary += f" ({', '.join(extras)})"
     print(summary)
 
 
 def _to_json(result: AnalysisResult) -> dict:
+    """Machine-readable report.
+
+    Every finding carries its rule ``family`` and a ``status``
+    (``reported`` / ``suppressed`` / ``baselined``) so downstream tooling
+    (the baseline ratchet, CI annotations) never re-parses text output.
+    """
+
+    def annotate(findings, status):
+        entries = []
+        for finding in findings:
+            entry = finding.to_dict()
+            entry["status"] = status
+            entries.append(entry)
+        return entries
+
     return {
-        "findings": [f.to_dict() for f in result.findings],
-        "suppressed": [f.to_dict() for f in result.suppressed],
-        "baselined": [f.to_dict() for f in result.baselined],
+        "version": 2,
+        "findings": annotate(result.findings, "reported"),
+        "suppressed": annotate(result.suppressed, "suppressed"),
+        "baselined": annotate(result.baselined, "baselined"),
+        "stale_baseline": [
+            {"path": path, "rule": rule, "unused": unused}
+            for path, rule, unused in result.stale_baseline
+        ],
         "checked_files": result.checked_files,
         "exit_code": result.exit_code,
     }

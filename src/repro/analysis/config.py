@@ -7,6 +7,12 @@ Recognised keys::
     disable = ["A103"]             # rule ids to turn off globally
     baseline = "reprolint-baseline.json"   # optional ratchet file
     exclude = ["src/repro/_vendored"]      # path prefixes to skip
+    cache = ".reprolint-cache.json"        # project-index cache (false = off)
+    sim_packages = ["repro.sim"]           # layers owning event-loop state (E1)
+    step_entrypoints = ["run_window", "step"]  # extra E1 roots
+
+    [tool.reprolint.layers]        # import DAG (L1): package -> allowed deps
+    "repro.sim" = ["repro.telemetry", "repro.utils", "repro.workflows"]
 
 TOML parsing uses the stdlib :mod:`tomllib` (Python >= 3.11).  On older
 interpreters — where tomllib does not exist and the project vendors no
@@ -18,16 +24,67 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 try:  # Python >= 3.11
     import tomllib
 except ImportError:  # pragma: no cover - exercised only on Python <= 3.10
     tomllib = None
 
-__all__ = ["LintConfig", "load_config", "find_pyproject"]
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "find_pyproject",
+    "DEFAULT_LAYERS",
+    "DEFAULT_STEP_ENTRYPOINTS",
+]
 
 _DEFAULT_PATHS = ["src/repro"]
+_DEFAULT_CACHE = ".reprolint-cache.json"
+
+#: The import DAG of docs/ARCHITECTURE.md, as package -> packages it may
+#: import at module scope.  Packages not listed (``repro.cli`` and the
+#: top-level modules) are unconstrained; lazy function-level imports are
+#: always exempt — they are the sanctioned escape hatch for optional
+#: heavy edges (e.g. ``telemetry.report`` formatting via ``repro.eval``).
+DEFAULT_LAYERS: Dict[str, List[str]] = {
+    "repro.utils": [],
+    "repro.nn": ["repro.utils"],
+    "repro.telemetry": ["repro.utils"],
+    "repro.workflows": ["repro.utils"],
+    "repro.sim": ["repro.telemetry", "repro.utils", "repro.workflows"],
+    "repro.workload": ["repro.sim", "repro.utils"],
+    "repro.rl": ["repro.nn", "repro.telemetry", "repro.utils"],
+    "repro.core": [
+        "repro.nn", "repro.rl", "repro.sim", "repro.telemetry", "repro.utils",
+    ],
+    "repro.baselines": [
+        "repro.core", "repro.rl", "repro.sim", "repro.utils",
+        "repro.workflows",
+    ],
+    "repro.eval": [
+        "repro.baselines", "repro.core", "repro.rl", "repro.sim",
+        "repro.telemetry", "repro.utils", "repro.workflows", "repro.workload",
+    ],
+    # reprolint reads runtime packages as ASTs, never imports them.
+    "repro.analysis": [],
+}
+
+#: Method names that anchor the E1 "step path": state mutation is legal
+#: in functions reachable from these, from ``__init__``/dunders, or from
+#: event-loop callbacks.
+DEFAULT_STEP_ENTRYPOINTS: List[str] = [
+    "run_window",
+    "step",
+    "step_simplex",
+    "reset",
+    "submit",
+    "inject_burst",
+    "attach",
+    # Lifecycle controls drivers call between windows.
+    "start",
+    "stop",
+]
 
 
 @dataclass
@@ -40,6 +97,18 @@ class LintConfig:
     disable: List[str] = field(default_factory=list)
     baseline: Optional[str] = None
     exclude: List[str] = field(default_factory=list)
+    #: Import DAG enforced by L1: package -> packages it may import.
+    layers: Dict[str, List[str]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    #: Packages whose objects own event-loop state (E1).
+    sim_packages: List[str] = field(default_factory=lambda: ["repro.sim"])
+    #: Extra E1 reachability roots besides ``__init__``/dunders/callbacks.
+    step_entrypoints: List[str] = field(
+        default_factory=lambda: list(DEFAULT_STEP_ENTRYPOINTS)
+    )
+    #: Project-index cache file relative to root; None disables caching.
+    cache: Optional[str] = None
 
     def resolved_paths(self) -> List[Path]:
         """Analysis targets as absolute paths."""
@@ -50,6 +119,12 @@ class LintConfig:
         if self.baseline is None:
             return None
         return self.root / self.baseline
+
+    def cache_path(self) -> Optional[Path]:
+        """Absolute index-cache path, or None when caching is off."""
+        if self.cache is None:
+            return None
+        return self.root / self.cache
 
 
 def find_pyproject(start: Path) -> Optional[Path]:
@@ -75,7 +150,7 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
     with pyproject.open("rb") as handle:
         data = tomllib.load(handle)
     section = data.get("tool", {}).get("reprolint", {})
-    config = LintConfig(root=pyproject.parent)
+    config = LintConfig(root=pyproject.parent, cache=_DEFAULT_CACHE)
     if "paths" in section:
         config.paths = [str(p) for p in section["paths"]]
     if "disable" in section:
@@ -84,4 +159,18 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
         config.baseline = str(section["baseline"])
     if "exclude" in section:
         config.exclude = [str(p) for p in section["exclude"]]
+    if "layers" in section:
+        config.layers = {
+            str(pkg): [str(d) for d in deps]
+            for pkg, deps in section["layers"].items()
+        }
+    if "sim_packages" in section:
+        config.sim_packages = [str(p) for p in section["sim_packages"]]
+    if "step_entrypoints" in section:
+        config.step_entrypoints = [str(n) for n in section["step_entrypoints"]]
+    if "cache" in section:
+        # ``cache = false`` disables the index cache; a string names it.
+        config.cache = (
+            str(section["cache"]) if section["cache"] else None
+        )
     return config

@@ -1,0 +1,418 @@
+"""Project-level rule families consuming the :mod:`repro.analysis.index`.
+
+Where :mod:`repro.analysis.rules` checks one module at a time, the four
+families here need the whole-project index:
+
+=====  ======================================================================
+R1     RNG provenance: duplicate fork labels on the same parent stream
+       (R101), constant labels forked inside loops (R102), and RNG
+       objects captured in default arguments (R103).  Each one makes two
+       "independent" streams share a name or a generator and silently
+       correlates experiments.
+T1     Telemetry conformance: every ``tracer.emit(...)`` call site must
+       use a kind registered in ``RECORD_SCHEMAS`` (T101) with exactly
+       the registered payload fields (T102); computed kinds are flagged
+       for review (T103).  Keeps instrumentation and
+       ``repro.telemetry.records`` from drifting apart.
+E1     Event discipline — the race detector for the discrete-event
+       simulator: sim-owned state may only be mutated by functions
+       reachable from event callbacks, the step path, or construction
+       (E101), and never from outside the sim layer at all (E102).
+L1     Layering: module-scope imports must follow the DAG documented in
+       docs/ARCHITECTURE.md (L101).  Lazy function-level imports are
+       exempt by design.
+=====  ======================================================================
+
+All checks work on plain index data, so they run identically from a
+fresh extraction or the on-disk index cache.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import (
+    SIM_OWNED_SEGMENTS,
+    EmitSite,
+    ForkSite,
+    FunctionInfo,
+    ProjectIndex,
+)
+
+__all__ = [
+    "ProjectChecker",
+    "RngProvenanceChecker",
+    "TelemetryConformanceChecker",
+    "EventDisciplineChecker",
+    "LayeringChecker",
+    "all_project_checkers",
+    "project_rule_rows",
+]
+
+
+class ProjectChecker:
+    """One cross-module rule family."""
+
+    family: str = ""
+    #: (rule id, description) rows, for --list-rules and config validation.
+    rules: List[Tuple[str, str]] = []
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        rule: str,
+        path: str,
+        line: int,
+        column: int,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            column=column,
+            rule=rule,
+            severity=severity,
+            message=message,
+            family=self.family,
+        )
+
+
+def _rng_like(receiver: Optional[str]) -> bool:
+    """Heuristic: does the receiver look like an RngStream?
+
+    ``fork`` is a common method name; gating on an rng-ish receiver
+    (``rng``, ``self._rngs["collect"]``, ``system.workload_rng``) keeps
+    the family from firing on unrelated fork() APIs.
+    """
+    if receiver is None:
+        return False
+    last = receiver.split(".")[-1]
+    return "rng" in last.lower()
+
+
+class RngProvenanceChecker(ProjectChecker):
+    """R1: fork-label provenance across the whole project."""
+
+    family = "R1"
+    rules = [
+        (
+            "R101",
+            "the same constant fork label is used at several call sites of "
+            "one parent stream; path-qualify the labels so stream names "
+            "stay unique and auditable",
+        ),
+        (
+            "R102",
+            "constant fork label inside a loop: every iteration creates a "
+            "stream with the same name; derive the label from the loop "
+            "variable",
+        ),
+        (
+            "R103",
+            "RNG captured in a default argument is created once at def "
+            "time and shared across calls; default to None and fork inside "
+            "the function",
+        ),
+    ]
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        sites = [s for s in index.fork_sites if _rng_like(s.receiver)]
+
+        # R101: duplicate (receiver, label) across distinct call sites.
+        groups: Dict[Tuple[str, str], List[ForkSite]] = defaultdict(list)
+        for site in sites:
+            if site.label is not None:
+                groups[(site.receiver, site.label)].append(site)
+        for (receiver, label), members in sorted(groups.items()):
+            locations = {(m.path, m.line) for m in members}
+            if len(locations) < 2:
+                continue
+            for site in members:
+                others = sorted(
+                    f"{m.path}:{m.line}"
+                    for m in members
+                    if (m.path, m.line) != (site.path, site.line)
+                )
+                yield self.finding(
+                    "R101", site.path, site.line, site.column,
+                    f"fork label {label!r} on parent `{receiver}` is also "
+                    f"used at {', '.join(others)}; two streams share the "
+                    f"name `{receiver}/{label}` — qualify the label with "
+                    "its component path",
+                )
+
+        for site in sites:
+            # R102: constant label forked in a loop.
+            if site.label is not None and site.in_loop:
+                yield self.finding(
+                    "R102", site.path, site.line, site.column,
+                    f"constant fork label {site.label!r} inside a loop "
+                    "mints identically named streams every iteration; "
+                    "derive the label from the loop variable "
+                    "(e.g. f\"...{i}\")",
+                )
+            # R103: fork evaluated in a default argument.
+            if site.in_default:
+                yield self.finding(
+                    "R103", site.path, site.line, site.column,
+                    "RNG forked in a default argument is evaluated once at "
+                    "def time and shared by every call; default to None "
+                    "and fork inside the function body",
+                )
+
+
+class TelemetryConformanceChecker(ProjectChecker):
+    """T1: tracer.emit call sites vs the RECORD_SCHEMAS registry."""
+
+    family = "T1"
+    rules = [
+        (
+            "T101",
+            "tracer.emit with a record kind that is not registered in "
+            "RECORD_SCHEMAS",
+        ),
+        (
+            "T102",
+            "tracer.emit payload fields do not match the registered schema "
+            "for the kind",
+        ),
+        (
+            "T103",
+            "tracer.emit with a computed kind or payload cannot be checked "
+            "statically; prefer constant kinds and keyword fields",
+        ),
+    ]
+
+    @staticmethod
+    def _tracer_like(site: EmitSite) -> bool:
+        if site.receiver is None:
+            return False
+        return "tracer" in site.receiver.split(".")[-1].lower()
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        if not index.schemas:
+            return  # no registry under analysis: nothing to conform to
+        for site in index.emit_sites:
+            if not self._tracer_like(site):
+                continue
+            if site.kind is None:
+                yield self.finding(
+                    "T103", site.path, site.line, site.column,
+                    "record kind is computed at runtime; the schema "
+                    "registry cannot vouch for it — use a constant kind "
+                    "from repro.telemetry.records.RECORD_SCHEMAS",
+                    severity=Severity.WARNING,
+                )
+                continue
+            if site.kind not in index.schemas:
+                yield self.finding(
+                    "T101", site.path, site.line, site.column,
+                    f"record kind {site.kind!r} is not registered in "
+                    f"RECORD_SCHEMAS ({index.schema_module}); register the "
+                    "schema before emitting it",
+                )
+                continue
+            expected = index.schemas[site.kind]
+            if expected is None:
+                continue  # registry entry itself is dynamic: unchecked
+            if site.dynamic_fields:
+                yield self.finding(
+                    "T103", site.path, site.line, site.column,
+                    f"payload of {site.kind!r} uses **kwargs or positional "
+                    "arguments; pass explicit keyword fields so the schema "
+                    "can be checked statically",
+                    severity=Severity.WARNING,
+                )
+                continue
+            got = sorted(site.fields)
+            if got != list(expected):
+                missing = sorted(set(expected) - set(got))
+                extra = sorted(set(got) - set(expected))
+                yield self.finding(
+                    "T102", site.path, site.line, site.column,
+                    f"{site.kind!r} payload drifted from RECORD_SCHEMAS: "
+                    f"missing={missing}, unexpected={extra}",
+                )
+
+
+class EventDisciplineChecker(ProjectChecker):
+    """E1: sim-owned state mutations must stay on sanctioned paths."""
+
+    family = "E1"
+    rules = [
+        (
+            "E101",
+            "sim-layer function mutates sim-owned state but is not "
+            "reachable from event callbacks, the step path, or "
+            "construction",
+        ),
+        (
+            "E102",
+            "sim-owned state (system/microservice/cluster attributes) "
+            "mutated from outside the sim layer; route the change through "
+            "a sim API instead",
+        ),
+    ]
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        sim_prefixes = tuple(config.sim_packages)
+        if sim_prefixes:
+            yield from self._check_reachability(index, config, sim_prefixes)
+            yield from self._check_external_writes(index, sim_prefixes)
+
+    @staticmethod
+    def _in_packages(module: str, prefixes: Tuple[str, ...]) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in prefixes
+        )
+
+    def _check_reachability(
+        self,
+        index: ProjectIndex,
+        config: LintConfig,
+        sim_prefixes: Tuple[str, ...],
+    ) -> Iterator[Finding]:
+        sim_functions = [
+            f for f in index.functions
+            if self._in_packages(f.module, sim_prefixes)
+        ]
+        by_name: Dict[str, List[FunctionInfo]] = defaultdict(list)
+        for func in sim_functions:
+            by_name[func.name].append(func)
+
+        # Roots: construction, dunders, decorated defs (properties,
+        # context managers), configured step entry points, event-loop
+        # callbacks, function names referenced as values, names called
+        # from module top level, and names called from outside the sim
+        # layer (public API surface).
+        roots: Set[str] = set(config.step_entrypoints)
+        roots.update(index.scheduled_callbacks)
+        roots.update(index.value_refs)
+        roots.update(index.toplevel_calls)
+        for func in sim_functions:
+            if func.name.startswith("__") and func.name.endswith("__"):
+                roots.add(func.name)
+            if func.decorated:
+                roots.add(func.name)
+        for func in index.functions:
+            if not self._in_packages(func.module, sim_prefixes):
+                roots.update(func.calls)
+
+        # Name-level closure over the sim-internal call graph.
+        reachable: Set[str] = set()
+        frontier = [n for n in roots if n in by_name]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            for func in by_name[name]:
+                for callee in func.calls:
+                    if callee not in reachable and callee in by_name:
+                        frontier.append(callee)
+
+        for func in sorted(sim_functions, key=lambda f: (f.path, f.line)):
+            if func.name in reachable or func.name in roots:
+                continue
+            for write in func.writes:
+                yield self.finding(
+                    "E101", func.path, write.line, write.column,
+                    f"`{func.qualname}` writes `{write.target}` but is not "
+                    "reachable from event callbacks, the step path, or "
+                    "construction — sim state mutated off the event loop "
+                    "breaks run reproducibility",
+                )
+
+    def _check_external_writes(
+        self, index: ProjectIndex, sim_prefixes: Tuple[str, ...]
+    ) -> Iterator[Finding]:
+        for func in sorted(index.functions, key=lambda f: (f.path, f.line)):
+            if self._in_packages(func.module, sim_prefixes):
+                continue
+            for write in func.writes:
+                # Receiver path only: writing `self.system = ...` binds a
+                # reference, writing `x.system.attr = ...` mutates sim
+                # state through it.
+                receiver = write.target.replace("[]", "").split(".")[:-1]
+                if any(seg in SIM_OWNED_SEGMENTS for seg in receiver):
+                    yield self.finding(
+                        "E102", func.path, write.line, write.column,
+                        f"`{func.qualname}` ({func.module}) writes "
+                        f"`{write.target}` — sim-owned state must be "
+                        "mutated through a sim API (submit, run_window, "
+                        "set_allocation, ...), not attribute assignment "
+                        "from another layer",
+                    )
+
+
+class LayeringChecker(ProjectChecker):
+    """L1: enforce the documented import DAG at module scope."""
+
+    family = "L1"
+    rules = [
+        (
+            "L101",
+            "module-scope import violates the layer DAG "
+            "([tool.reprolint.layers], docs/ARCHITECTURE.md)",
+        ),
+    ]
+
+    @staticmethod
+    def _layer_of(module: str, layers: Dict[str, List[str]]) -> Optional[str]:
+        """Longest configured layer prefix owning ``module``."""
+        best: Optional[str] = None
+        for layer in layers:
+            if module == layer or module.startswith(layer + "."):
+                if best is None or len(layer) > len(best):
+                    best = layer
+        return best
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        layers = config.layers
+        if not layers:
+            return
+        for edge in index.imports:
+            if not edge.toplevel or not edge.importer:
+                continue
+            importer_layer = self._layer_of(edge.importer, layers)
+            if importer_layer is None:
+                continue  # unconstrained module (cli, tests, scripts)
+            imported_layer = self._layer_of(edge.imported, layers)
+            if imported_layer is None or imported_layer == importer_layer:
+                continue
+            if imported_layer in layers[importer_layer]:
+                continue
+            yield self.finding(
+                "L101", edge.path, edge.line, edge.column,
+                f"`{importer_layer}` must not import `{imported_layer}` "
+                f"(module-scope import of `{edge.imported}`); allowed "
+                f"dependencies: {sorted(layers[importer_layer]) or 'none'} "
+                "— move the import behind a function boundary only if the "
+                "edge is genuinely optional, otherwise invert the "
+                "dependency",
+            )
+
+
+def all_project_checkers() -> List[ProjectChecker]:
+    """Fresh instances of every cross-module checker, report order."""
+    return [
+        RngProvenanceChecker(),
+        TelemetryConformanceChecker(),
+        EventDisciplineChecker(),
+        LayeringChecker(),
+    ]
+
+
+def project_rule_rows() -> List[Tuple[str, str, str]]:
+    """(rule id, family, description) rows for the rule reference."""
+    rows: List[Tuple[str, str, str]] = []
+    for checker in all_project_checkers():
+        for rule_id, description in checker.rules:
+            rows.append((rule_id, checker.family, description))
+    return rows

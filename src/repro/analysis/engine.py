@@ -1,19 +1,26 @@
-"""The reprolint engine: discover, parse, check, suppress, baseline.
+"""The reprolint engine: discover, parse, index, check, suppress, baseline.
 
 :func:`run_analysis` is the single entry point used by both the module CLI
 (``python -m repro.analysis``) and the ``repro lint`` subcommand; tests
 call it directly with synthetic trees.
+
+Two checker tiers run over one parse: per-file rules (D/S/A families)
+see each module alone, and project rules (R/T/E/L families) consume the
+whole-tree :class:`~repro.analysis.index.ProjectIndex`, which is cached
+on disk keyed by source hashes when the config enables it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import LintConfig
+from repro.analysis.crossrules import all_project_checkers
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import load_or_build_index
 from repro.analysis.project import (
     ModuleInfo,
     Project,
@@ -35,12 +42,16 @@ class AnalysisResult:
     suppressed: List[Finding] = field(default_factory=list)
     #: Findings waived by the baseline file.
     baselined: List[Finding] = field(default_factory=list)
+    #: Baseline allowances that no longer match any finding, as
+    #: ``(path, rule, unused_count)``.  Stale entries fail the run: a
+    #: ratchet that waives fixed violations can hide regressions.
+    stale_baseline: List[Tuple[str, str, int]] = field(default_factory=list)
     checked_files: int = 0
 
     @property
     def exit_code(self) -> int:
-        """0 when clean; 1 when any finding must be reported."""
-        return 1 if self.findings else 0
+        """0 when clean; 1 when findings or stale baseline entries exist."""
+        return 1 if self.findings or self.stale_baseline else 0
 
 
 def run_analysis(
@@ -75,6 +86,7 @@ def run_analysis(
                     rule="P001",
                     severity=Severity.ERROR,
                     message=f"syntax error: {error.msg}",
+                    family="P",
                 )
             )
             continue
@@ -86,6 +98,11 @@ def run_analysis(
         for checker in checkers:
             for finding in checker.check(module, project):
                 raw.append(finding)
+
+    index = load_or_build_index(project, cache_path=config.cache_path())
+    for project_checker in all_project_checkers():
+        for finding in project_checker.check(index, config):
+            raw.append(finding)
 
     filtered: List[Finding] = []
     for finding in raw:
@@ -100,6 +117,7 @@ def run_analysis(
     reported, waived = baseline.apply(filtered)
     result.findings = sorted(reported)
     result.baselined = waived
+    result.stale_baseline = baseline.stale_entries(filtered)
     result.suppressed.sort()
     return result
 

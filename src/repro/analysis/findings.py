@@ -9,6 +9,13 @@ from typing import Any, Dict
 __all__ = ["Severity", "Finding"]
 
 
+def _family_of(rule: str) -> str:
+    """Family implied by a rule id: ``D101`` -> ``D1``, ``P001`` -> ``P``."""
+    if rule.startswith("P"):
+        return "P"
+    return rule[:2]
+
+
 class Severity(enum.Enum):
     """How bad a finding is; drives exit-code semantics and display."""
 
@@ -34,6 +41,9 @@ class Finding:
     rule: str = field(compare=True)
     severity: Severity = field(compare=False)
     message: str = field(compare=False)
+    #: Rule family prefix (``D1``, ``R1``, ...; ``P`` for parse failures).
+    #: Not part of identity — the rule id already implies it.
+    family: str = field(default="", compare=False)
 
     def format_text(self) -> str:
         """One-line ``path:line:col: RULE severity: message`` rendering."""
@@ -49,6 +59,7 @@ class Finding:
             "line": self.line,
             "column": self.column,
             "rule": self.rule,
+            "family": self.family or _family_of(self.rule),
             "severity": str(self.severity),
             "message": self.message,
         }

@@ -1,0 +1,617 @@
+"""The project index: one whole-tree pass that cross-module rules consume.
+
+Per-file rules (the D/S/A families in :mod:`repro.analysis.rules`) see one
+AST at a time.  The four project-level families need facts that span
+modules:
+
+- **symbols** — top-level names per module (the symbol table),
+- **imports** — which project module imports which, and whether the
+  import happens at module scope or lazily inside a function,
+- **fork sites** — every ``<rng>.fork(label)`` call with its resolved
+  constant label, receiver, enclosing function, and loop context (R1),
+- **emit sites** — every ``<tracer>.emit(kind, field=...)`` call with its
+  resolved constant kind and keyword field set (T1),
+- **schema registry** — the ``RECORD_SCHEMAS`` mapping parsed out of the
+  telemetry records module, so instrumentation is checked against the
+  registry *as written* without importing runtime code (T1),
+- **call graph** — name-level call edges, attribute writes, scheduled
+  event callbacks, and value-referenced functions, from which the E1
+  event-discipline family computes reachability.
+
+Everything in the index is plain data (str/int/bool containers), so the
+whole index serialises to JSON.  :func:`load_or_build_index` uses that to
+cache the index on disk keyed by a digest of every source file — edits
+invalidate the cache, and a warm ``repro lint`` skips the cross-module
+extraction pass entirely.
+
+The extraction is deliberately *approximate where Python is dynamic*:
+f-string fork labels index as ``label=None``, ``getattr``-style access
+contributes nothing, and unresolvable registry entries mark their kind as
+unchecked.  Rules treat None as "unknown — stay silent", never as an
+error, so dynamic code degrades gracefully (see
+``tests/analysis/test_index.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.project import (
+    ModuleInfo,
+    Project,
+    dotted_name,
+    receiver_key,
+    top_level_bindings,
+)
+
+__all__ = [
+    "ForkSite",
+    "EmitSite",
+    "ImportEdge",
+    "FunctionInfo",
+    "AttributeWrite",
+    "ProjectIndex",
+    "build_index",
+    "load_or_build_index",
+    "project_digest",
+]
+
+#: Bumped whenever the index shape changes; stale on-disk caches with a
+#: different version are rebuilt, never reinterpreted.
+INDEX_VERSION = 1
+
+#: Receiver path segments that mark state as sim-owned for the E1 family.
+SIM_OWNED_SEGMENTS = ("system", "microservice", "microservices", "cluster")
+
+
+@dataclass
+class ForkSite:
+    """One ``<receiver>.fork(<label>)`` call site."""
+
+    path: str
+    line: int
+    column: int
+    module: str
+    #: Normalised receiver (``rng``, ``self._rngs["collect"]``); None when
+    #: the receiver is too dynamic to key.
+    receiver: Optional[str]
+    #: Constant string label; None for f-strings / computed labels.
+    label: Optional[str]
+    #: Qualified enclosing scope (``Class.method``); "" at module level.
+    function: str
+    #: True when the call sits inside a for/while loop body.
+    in_loop: bool
+    #: True when the call appears inside a default-argument expression.
+    in_default: bool
+
+
+@dataclass
+class EmitSite:
+    """One ``<receiver>.emit(kind, field=..., ...)`` call site."""
+
+    path: str
+    line: int
+    column: int
+    module: str
+    receiver: Optional[str]
+    #: Constant record kind; None when the kind is computed.
+    kind: Optional[str]
+    #: Keyword payload field names, in call order.
+    fields: List[str]
+    #: True when the call uses ``**kwargs`` or positional payload args, in
+    #: which case the field set is unknowable statically.
+    dynamic_fields: bool
+
+
+@dataclass
+class ImportEdge:
+    """One project-internal import."""
+
+    path: str
+    line: int
+    column: int
+    importer: str
+    imported: str
+    #: False for imports nested inside a function (sanctioned lazy imports).
+    toplevel: bool
+
+
+@dataclass
+class AttributeWrite:
+    """One assignment/augassign/del targeting an attribute chain."""
+
+    line: int
+    column: int
+    #: Dotted target; subscripted chains get a ``[]`` suffix on the base
+    #: (``self._window_arrivals[]``).
+    target: str
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    path: str
+    line: int
+    column: int
+    module: str
+    #: ``Class.method`` within the module; plain name for free functions.
+    qualname: str
+    name: str
+    #: Simple names this function calls (last dotted segment).
+    calls: List[str] = field(default_factory=list)
+    writes: List[AttributeWrite] = field(default_factory=list)
+    decorated: bool = False
+
+
+@dataclass
+class ProjectIndex:
+    """Whole-project facts, all plain data (JSON-serialisable)."""
+
+    version: int = INDEX_VERSION
+    digest: str = ""
+    #: module dotted name -> sorted top-level symbol names.
+    symbols: Dict[str, List[str]] = field(default_factory=dict)
+    imports: List[ImportEdge] = field(default_factory=list)
+    fork_sites: List[ForkSite] = field(default_factory=list)
+    emit_sites: List[EmitSite] = field(default_factory=list)
+    #: record kind -> sorted payload fields; None when the registry entry
+    #: could not be resolved statically (kind is then left unchecked).
+    schemas: Dict[str, Optional[List[str]]] = field(default_factory=dict)
+    #: Module that defines the schema registry, "" when none was found
+    #: (T1 checks disable themselves in that case).
+    schema_module: str = ""
+    functions: List[FunctionInfo] = field(default_factory=list)
+    #: Simple names of callables scheduled on the event loop.
+    scheduled_callbacks: List[str] = field(default_factory=list)
+    #: Simple names referenced as values (callbacks stored, passed, ...).
+    value_refs: List[str] = field(default_factory=list)
+    #: Simple names called from module top-level code.
+    toplevel_calls: List[str] = field(default_factory=list)
+
+    # Serialisation --------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ProjectIndex":
+        index = cls(version=data["version"], digest=data["digest"])
+        index.symbols = {k: list(v) for k, v in data["symbols"].items()}
+        index.imports = [ImportEdge(**e) for e in data["imports"]]
+        index.fork_sites = [ForkSite(**s) for s in data["fork_sites"]]
+        index.emit_sites = [EmitSite(**s) for s in data["emit_sites"]]
+        index.schemas = {
+            k: (list(v) if v is not None else None)
+            for k, v in data["schemas"].items()
+        }
+        index.schema_module = data["schema_module"]
+        index.functions = [
+            FunctionInfo(
+                path=f["path"],
+                line=f["line"],
+                column=f["column"],
+                module=f["module"],
+                qualname=f["qualname"],
+                name=f["name"],
+                calls=list(f["calls"]),
+                writes=[AttributeWrite(**w) for w in f["writes"]],
+                decorated=f["decorated"],
+            )
+            for f in data["functions"]
+        ]
+        index.scheduled_callbacks = list(data["scheduled_callbacks"])
+        index.value_refs = list(data["value_refs"])
+        index.toplevel_calls = list(data["toplevel_calls"])
+        return index
+
+
+def project_digest(project: Project) -> str:
+    """Content digest over every module; the index cache key."""
+    hasher = hashlib.sha256()
+    hasher.update(f"v{INDEX_VERSION}".encode())
+    for module in sorted(project.modules, key=lambda m: m.display_path):
+        hasher.update(module.display_path.encode())
+        hasher.update(b"\x00")
+        hasher.update(module.source.encode("utf-8", errors="replace"))
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
+
+
+def build_index(project: Project) -> ProjectIndex:
+    """Extract the whole-project index from parsed modules."""
+    index = ProjectIndex(digest=project_digest(project))
+    scheduled: Set[str] = set()
+    value_refs: Set[str] = set()
+    toplevel_calls: Set[str] = set()
+    for module in project.modules:
+        if module.module:
+            index.symbols[module.module] = sorted(
+                top_level_bindings(module.tree)
+            )
+        _extract_imports(module, index)
+        visitor = _ModuleVisitor(module, index, scheduled, value_refs,
+                                 toplevel_calls)
+        visitor.visit(module.tree)
+        _extract_schema_registry(module, index)
+    index.scheduled_callbacks = sorted(scheduled)
+    index.value_refs = sorted(value_refs)
+    index.toplevel_calls = sorted(toplevel_calls)
+    return index
+
+
+# Imports ------------------------------------------------------------------
+
+def _extract_imports(module: ModuleInfo, index: ProjectIndex) -> None:
+    for node, nested in _walk_with_nesting(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                index.imports.append(ImportEdge(
+                    path=module.display_path,
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    importer=module.module,
+                    imported=alias.name,
+                    toplevel=not nested,
+                ))
+        elif isinstance(node, ast.ImportFrom):
+            target = _absolute_import_target(module, node)
+            if not target:
+                continue
+            index.imports.append(ImportEdge(
+                path=module.display_path,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                importer=module.module,
+                imported=target,
+                toplevel=not nested,
+            ))
+
+
+def _walk_with_nesting(tree: ast.Module):
+    """Yield ``(node, inside_function)`` over the whole tree."""
+    stack = [(tree, False)]
+    while stack:
+        node, nested = stack.pop()
+        yield node, nested
+        child_nested = nested or isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_nested))
+
+
+def _absolute_import_target(module: ModuleInfo, node: ast.ImportFrom) -> str:
+    """Absolute dotted module an ImportFrom pulls from."""
+    if node.level == 0:
+        return node.module or ""
+    package_parts = module.module.split(".") if module.module else []
+    if not module.is_package_init and package_parts:
+        package_parts = package_parts[:-1]
+    up = node.level - 1
+    if up:
+        package_parts = package_parts[: max(0, len(package_parts) - up)]
+    if node.module:
+        package_parts = package_parts + node.module.split(".")
+    return ".".join(package_parts)
+
+
+# Schema registry ----------------------------------------------------------
+
+def _extract_schema_registry(module: ModuleInfo, index: ProjectIndex) -> None:
+    """Parse a top-level ``RECORD_SCHEMAS = {...}`` mapping, if present."""
+    for node in module.tree.body:
+        target_names = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            target_names = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            target_names = [node.target.id]
+            value = node.value
+        if "RECORD_SCHEMAS" not in target_names or not isinstance(
+            value, ast.Dict
+        ):
+            continue
+        schemas: Dict[str, Optional[List[str]]] = {}
+        for key, val in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue  # computed kind: unindexable, skip gracefully
+            schemas[key.value] = _resolve_field_set(val)
+        if schemas:
+            index.schemas = schemas
+            index.schema_module = module.module
+        return
+
+
+def _resolve_field_set(node: ast.AST) -> Optional[List[str]]:
+    """Constant string elements of ``frozenset({...})`` / set / list / tuple."""
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee is None or callee.split(".")[-1] not in (
+            "frozenset", "set", "tuple", "list",
+        ):
+            return None
+        if len(node.args) != 1 or node.keywords:
+            return None
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        fields: List[str] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                fields.append(elt.value)
+            else:
+                return None
+        return sorted(fields)
+    return None
+
+
+# Call sites, call graph, writes -------------------------------------------
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Single pass over one module collecting fork/emit sites and the
+    call-graph facts, tracking scope, loop depth, and default-arg context."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        index: ProjectIndex,
+        scheduled: Set[str],
+        value_refs: Set[str],
+        toplevel_calls: Set[str],
+    ):
+        self.module = module
+        self.index = index
+        self.scheduled = scheduled
+        self.value_refs = value_refs
+        self.toplevel_calls = toplevel_calls
+        self.scope: List[str] = []          # class/function name stack
+        self.function_stack: List[FunctionInfo] = []
+        self.loop_depth = 0
+        self.in_default = 0
+
+    # Scope tracking -------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def _visit_function(self, node) -> None:
+        qualname = ".".join(self.scope + [node.name])
+        info = FunctionInfo(
+            path=self.module.display_path,
+            line=node.lineno,
+            column=node.col_offset + 1,
+            module=self.module.module,
+            qualname=qualname,
+            name=node.name,
+            decorated=bool(node.decorator_list),
+        )
+        self.index.functions.append(info)
+        # Defaults evaluate in the *enclosing* scope, at def time.
+        self.in_default += 1
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        self.in_default -= 1
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        self.scope.append(node.name)
+        self.function_stack.append(info)
+        outer_loop_depth, self.loop_depth = self.loop_depth, 0
+        for stmt in node.body:
+            self.visit(stmt)
+        self.loop_depth = outer_loop_depth
+        self.function_stack.pop()
+        self.scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # Loops ----------------------------------------------------------------
+    def _visit_loop(self, node) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    # Writes ---------------------------------------------------------------
+    def _record_write(self, target: ast.AST, node: ast.AST) -> None:
+        if self.function_stack:
+            desc = _write_target(target)
+            if desc is not None:
+                self.function_stack[-1].writes.append(AttributeWrite(
+                    line=getattr(node, "lineno", 1),
+                    column=getattr(node, "col_offset", 0) + 1,
+                    target=desc,
+                ))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_write(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_write(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_write(target, node)
+        self.generic_visit(node)
+
+    # Calls and value references -------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        simple = _simple_call_name(node.func)
+        if simple is not None:
+            if self.function_stack:
+                self.function_stack[-1].calls.append(simple)
+            else:
+                self.toplevel_calls.add(simple)
+            if simple in ("schedule", "schedule_at"):
+                self._record_scheduled(node)
+            elif simple == "fork":
+                self._record_fork(node)
+            elif simple == "emit":
+                self._record_emit(node)
+        # Function references passed as arguments are callback roots.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._record_value_ref(arg)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    def _record_value_ref(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute):
+            self.value_refs.add(node.attr)
+        elif isinstance(node, ast.Name):
+            self.value_refs.add(node.id)
+
+    def _record_scheduled(self, node: ast.Call) -> None:
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Lambda):
+                for sub in ast.walk(arg.body):
+                    if isinstance(sub, ast.Call):
+                        name = _simple_call_name(sub.func)
+                        if name is not None:
+                            self.scheduled.add(name)
+            elif isinstance(arg, ast.Attribute):
+                self.scheduled.add(arg.attr)
+            elif isinstance(arg, ast.Name):
+                self.scheduled.add(arg.id)
+
+    def _record_fork(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        label: Optional[str] = None
+        if node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                label = first.value
+        self.index.fork_sites.append(ForkSite(
+            path=self.module.display_path,
+            line=node.lineno,
+            column=node.col_offset + 1,
+            module=self.module.module,
+            receiver=receiver_key(node.func.value),
+            label=label,
+            function=(
+                self.function_stack[-1].qualname
+                if self.function_stack else ""
+            ),
+            in_loop=self.loop_depth > 0,
+            in_default=self.in_default > 0,
+        ))
+
+    def _record_emit(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        kind: Optional[str] = None
+        if node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                kind = first.value
+        fields = [kw.arg for kw in node.keywords if kw.arg is not None]
+        dynamic = (
+            any(kw.arg is None for kw in node.keywords)  # **kwargs
+            or len(node.args) > 1                        # positional payload
+        )
+        self.index.emit_sites.append(EmitSite(
+            path=self.module.display_path,
+            line=node.lineno,
+            column=node.col_offset + 1,
+            module=self.module.module,
+            receiver=receiver_key(node.func.value),
+            kind=kind,
+            fields=fields,
+            dynamic_fields=dynamic,
+        ))
+
+
+def _simple_call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _write_target(target: ast.AST) -> Optional[str]:
+    """Dotted description of an attribute-chain write target, else None."""
+    suffix = ""
+    if isinstance(target, ast.Subscript):
+        suffix = "[]"
+        target = target.value
+    if not isinstance(target, ast.Attribute):
+        return None
+    dotted = dotted_name(target)
+    if dotted is None:
+        return None
+    return dotted + suffix
+
+
+# Cache --------------------------------------------------------------------
+
+def load_or_build_index(
+    project: Project, cache_path: Optional[Path] = None
+) -> ProjectIndex:
+    """Return the index for ``project``, via the on-disk cache if valid.
+
+    The cache is keyed by :func:`project_digest`; any source edit, file
+    addition, or removal changes the digest and forces a rebuild.  Cache
+    IO failures (corrupt file, permissions) silently fall back to a
+    rebuild — the cache is an optimisation, never a correctness input.
+    """
+    digest = project_digest(project)
+    if cache_path is not None and cache_path.exists():
+        try:
+            data = json.loads(cache_path.read_text(encoding="utf-8"))
+            if (
+                data.get("version") == INDEX_VERSION
+                and data.get("digest") == digest
+            ):
+                return ProjectIndex.from_dict(data)
+        except (ValueError, KeyError, TypeError):
+            pass
+    index = build_index(project)
+    if cache_path is not None:
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(
+                json.dumps(index.to_dict()) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            pass
+    return index

@@ -12,7 +12,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["ModuleInfo", "Project", "discover_files", "module_name_for"]
+__all__ = [
+    "ModuleInfo",
+    "Project",
+    "discover_files",
+    "module_name_for",
+    "top_level_bindings",
+    "dotted_name",
+    "receiver_key",
+]
 
 
 @dataclass
@@ -113,6 +121,79 @@ def parse_module(
         suppressions=_scan_suppressions(source),
     )
     return info, None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def receiver_key(node: ast.AST) -> Optional[str]:
+    """Stable textual key for a call receiver.
+
+    Handles plain Name/Attribute chains (``self._rng``) and one level of
+    constant-string subscripting (``self._rngs["collect"]``); anything
+    more dynamic keys to None so rules can degrade gracefully.
+    """
+    direct = dotted_name(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        index = node.slice
+        if base is not None and isinstance(index, ast.Constant) and isinstance(
+            index.value, str
+        ):
+            return f'{base}["{index.value}"]'
+    return None
+
+
+def top_level_bindings(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Names bound at module top level, mapped to their binding node.
+
+    The module/symbol table of the project index and the A1 re-export
+    resolver both build on this.
+    """
+    bindings: Dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bindings[node.name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        bindings[name_node.id] = node
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bindings[node.target.id] = node
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bindings[alias.asname or alias.name.split(".")[0]] = node
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings[alias.asname or alias.name] = node
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional imports (version / optional-dependency gates).
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        bindings[alias.asname or alias.name.split(".")[0]] = sub
+                elif isinstance(sub, ast.ImportFrom) and sub.module != "__future__":
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bindings[alias.asname or alias.name] = sub
+    return bindings
 
 
 def _scan_suppressions(source: str) -> Dict[int, frozenset]:

@@ -28,7 +28,12 @@ import ast
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.project import (
+    ModuleInfo,
+    Project,
+    dotted_name as _dotted_name,
+    top_level_bindings as _top_level_bindings,
+)
 
 __all__ = [
     "Checker",
@@ -68,19 +73,8 @@ class Checker:
             rule=self.rule_id,
             severity=self.severity,
             message=message,
+            family=self.family,
         )
-
-
-def _dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 def _import_map(tree: ast.Module) -> Dict[str, str]:
@@ -420,6 +414,7 @@ class ApiConsistencyChecker(Checker):
             rule=rule,
             severity=severity,
             message=message,
+            family=self.family,
         )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
@@ -474,43 +469,6 @@ class ApiConsistencyChecker(Checker):
                     "listed in __all__; export it or rename with a leading "
                     "underscore",
                 )
-
-
-def _top_level_bindings(tree: ast.Module) -> Dict[str, ast.AST]:
-    """Names bound at module top level, mapped to their binding node."""
-    bindings: Dict[str, ast.AST] = {}
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            bindings[node.name] = node
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                for name_node in ast.walk(target):
-                    if isinstance(name_node, ast.Name):
-                        bindings[name_node.id] = node
-        elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name):
-                bindings[node.target.id] = node
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                bindings[alias.asname or alias.name.split(".")[0]] = node
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                bindings[alias.asname or alias.name] = node
-        elif isinstance(node, (ast.If, ast.Try)):
-            # Conditional imports (version / optional-dependency gates).
-            for sub in ast.walk(node):
-                if isinstance(sub, ast.Import):
-                    for alias in sub.names:
-                        bindings[alias.asname or alias.name.split(".")[0]] = sub
-                elif isinstance(sub, ast.ImportFrom) and sub.module != "__future__":
-                    for alias in sub.names:
-                        if alias.name != "*":
-                            bindings[alias.asname or alias.name] = sub
-    return bindings
 
 
 def _parse_all(
@@ -608,18 +566,13 @@ def all_checkers() -> List[Checker]:
 
 def all_rule_ids() -> List[str]:
     """Every rule id the engine can emit, for --list-rules and config."""
-    ids = []
-    for checker in all_checkers():
-        if isinstance(checker, ApiConsistencyChecker):
-            ids.extend(["A101", "A102", "A103"])
-        else:
-            ids.append(checker.rule_id)
-    ids.append("P001")
-    return ids
+    return [rule for rule, _, _ in rule_table()]
 
 
 def rule_table() -> List[Tuple[str, str, str]]:
     """(rule id, family, description) rows for --list-rules output."""
+    from repro.analysis.crossrules import project_rule_rows
+
     rows: List[Tuple[str, str, str]] = []
     for checker in all_checkers():
         if isinstance(checker, ApiConsistencyChecker):
@@ -628,5 +581,6 @@ def rule_table() -> List[Tuple[str, str, str]]:
             rows.append(("A103", "A1", "public __init__ symbol missing from __all__"))
         else:
             rows.append((checker.rule_id, checker.family, checker.description))
+    rows.extend(project_rule_rows())
     rows.append(("P001", "P", "file could not be parsed (syntax error)"))
     return rows

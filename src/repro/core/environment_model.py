@@ -66,7 +66,7 @@ class EnvironmentModel:
             [state_dim + action_dim, *hidden_sizes, state_dim],
             hidden_activation="relu",
             output_activation="linear",
-            rng=rng.fork("net"),
+            rng=rng.fork("envmodel/net"),
         )
         self.optimizer = Adam(learning_rate)
         self.loss = MeanSquaredError()

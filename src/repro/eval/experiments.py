@@ -211,13 +211,13 @@ def experiment_fig5_model_accuracy(
     rng = RngStream("fig5", np.random.SeedSequence(seed))
 
     train_data, _ = _collect_random_dataset(
-        env, collect_steps, rng.fork("train"), action_hold=action_hold
+        env, collect_steps, rng.fork("fig5/train"), action_hold=action_hold
     )
     model = EnvironmentModel(
         env.state_dim,
         env.action_dim,
         hidden_sizes=preset["model_hidden"],
-        rng=rng.fork("model"),
+        rng=rng.fork("fig5/model"),
     )
     model.fit(train_data, epochs=model_epochs)
 
@@ -225,7 +225,7 @@ def experiment_fig5_model_accuracy(
     _, trace = _collect_random_dataset(
         env,
         test_steps,
-        rng.fork("test"),
+        rng.fork("fig5/test"),
         action_hold=action_hold,
         reset_interval=0,
         record_order=True,
@@ -399,20 +399,23 @@ def ablation_refinement(
     preset = dataset_preset(dataset)
     env = _training_env(dataset, seed)
     rng = RngStream("ablate-refine", np.random.SeedSequence(seed))
-    train_data, _ = _collect_random_dataset(env, collect_steps, rng.fork("train"))
+    train_data, _ = _collect_random_dataset(
+        env, collect_steps, rng.fork("ablate-refine/train")
+    )
     model = EnvironmentModel(
         env.state_dim,
         env.action_dim,
         hidden_sizes=preset["model_hidden"],
-        rng=rng.fork("model"),
+        rng=rng.fork("ablate-refine/model"),
     )
     model.fit(train_data, epochs=60)
     refined = RefinedModel.from_dataset(
-        model, train_data, percentile=percentile, rng=rng.fork("refine")
+        model, train_data, percentile=percentile,
+        rng=rng.fork("ablate-refine/refine"),
     )
 
     test_data, trace = _collect_random_dataset(
-        env, test_steps, rng.fork("test"), record_order=True
+        env, test_steps, rng.fork("ablate-refine/test"), record_order=True
     )
     boundary_raw, boundary_refined = [], []
     interior_raw, interior_refined = [], []

@@ -57,7 +57,7 @@ class Actor:
             [state_dim, *hidden_sizes, action_dim],
             hidden_activation="relu",
             output_activation="softmax",
-            rng=rng.fork("net"),
+            rng=rng.fork("actor/net"),
             final_init="small_uniform",
         )
         self.target_network = self.network.clone()

@@ -52,7 +52,7 @@ class Critic:
             output_activation="linear",
             aux_dim=action_dim,
             aux_layer=1,
-            rng=rng.fork("net"),
+            rng=rng.fork("critic/net"),
             final_init="small_uniform",
         )
         self.target_network = self.network.clone()

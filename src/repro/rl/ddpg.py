@@ -135,6 +135,7 @@ class DDPGAgent:
         )
         self._perturbed_network: Optional[MLP] = None
         self._acts_since_perturb = 0
+        self._perturbs_done = 0
         if cfg.exploration == "action-ou":
             self.action_noise = OrnsteinUhlenbeckNoise(
                 action_dim, sigma=cfg.action_noise_sigma
@@ -154,7 +155,13 @@ class DDPGAgent:
     def refresh_perturbation(self) -> None:
         """Resample the perturbed actor (call at episode boundaries)."""
         flat = self.actor.network.get_flat()
-        noisy = self.param_noise.perturb(flat, self.rng.fork("perturb"))
+        # Label carries the refresh index: each perturbation gets its own
+        # uniquely named stream (labels never feed entropy, so this is
+        # name-only — draws are unchanged for a fixed seed).
+        noisy = self.param_noise.perturb(
+            flat, self.rng.fork(f"perturb{self._perturbs_done}")
+        )
+        self._perturbs_done += 1
         perturbed = self.actor.network.clone()
         perturbed.set_flat(noisy)
         self._perturbed_network = perturbed

@@ -1,0 +1,1 @@
+"""Fixture: package whose two modules import each other at module scope."""

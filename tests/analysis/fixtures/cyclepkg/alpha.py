@@ -1,0 +1,9 @@
+"""Half of an import cycle: imports beta at module scope."""
+
+from cyclepkg import beta
+
+ALPHA_CONST = 1
+
+
+def alpha_fn():
+    return beta.beta_fn() + ALPHA_CONST

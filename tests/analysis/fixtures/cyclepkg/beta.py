@@ -1,0 +1,15 @@
+"""Other half of the cycle: imports alpha back, plus a lazy import."""
+
+import cyclepkg.alpha
+
+BETA_CONST = 2
+
+
+def beta_fn():
+    return BETA_CONST
+
+
+def lazy_user():
+    from cyclepkg.alpha import ALPHA_CONST  # function-scope: not toplevel
+
+    return ALPHA_CONST

@@ -1,0 +1,11 @@
+"""Fixture: dynamic package the index must degrade gracefully on."""
+
+_LAZY = {"core": "dynpkg.core"}
+
+
+def __getattr__(name):  # module-level PEP 562 hook
+    import importlib
+
+    if name in _LAZY:
+        return importlib.import_module(_LAZY[name])
+    raise AttributeError(name)

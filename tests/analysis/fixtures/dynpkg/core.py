@@ -1,0 +1,27 @@
+"""Fixture: dynamic call sites — the index records "unknown", not guesses.
+
+Every construct here is legal Python the static pass cannot fully
+resolve: f-string fork labels, computed emit kinds, ``getattr``
+dispatch, and a subscripted receiver.  ``build_index`` must index the
+sites with ``label``/``kind`` set to ``None`` (or skip them) rather
+than crash or invent values.
+"""
+
+
+class Runner:
+    def __init__(self, rng, tracer, streams):
+        self.rng = rng
+        self.tracer = tracer
+        self._rngs = streams
+
+    def fstring_label(self, i):
+        return self.rng.fork(f"worker{i}")  # computed: label -> None
+
+    def computed_kind(self, kind):
+        self.tracer.emit(kind, value=1)  # computed: kind -> None
+
+    def dispatch(self, name):
+        return getattr(self.rng, name)("x")  # opaque to the index
+
+    def subscripted(self):
+        return self._rngs["collect"].fork("collect/worker")

@@ -1,0 +1,5 @@
+"""Fixture: re-export chain impl -> facade -> package root."""
+
+from reexport.facade import compute, helper
+
+__all__ = ["compute", "helper"]

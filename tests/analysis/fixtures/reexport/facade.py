@@ -1,0 +1,5 @@
+"""Fixture: middle hop of the re-export chain (relative import form)."""
+
+from .impl import compute, helper
+
+__all__ = ["compute", "helper"]

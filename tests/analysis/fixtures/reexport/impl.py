@@ -1,0 +1,9 @@
+"""Fixture: the real definitions at the bottom of a re-export chain."""
+
+
+def compute(x):
+    return x * 2
+
+
+def helper():
+    return compute(21)

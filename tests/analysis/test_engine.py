@@ -221,10 +221,15 @@ class TestCli:
         assert data["checked_files"] == 1
         rules = {f["rule"] for f in data["findings"]}
         assert {"D101", "D201", "S101", "S102", "A101"} <= rules
+        assert data["version"] == 2
+        assert data["stale_baseline"] == []
         for finding in data["findings"]:
             assert set(finding) == {
                 "path", "line", "column", "rule", "severity", "message",
+                "family", "status",
             }
+            assert finding["family"] == finding["rule"][:2]
+            assert finding["status"] == "reported"
 
     def test_syntax_error_reports_p001(self, tmp_path, capsys):
         path = tmp_path / "broken.py"
@@ -246,7 +251,9 @@ class TestCli:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule in ("D101", "D102", "D201", "S101", "S102", "S103",
-                     "A101", "A102", "A103", "P001"):
+                     "A101", "A102", "A103", "P001",
+                     "R101", "R102", "R103", "T101", "T102", "T103",
+                     "E101", "E102", "L101"):
             assert rule in out
 
     def test_disable_flag_drops_family(self, tmp_path, capsys):
@@ -255,3 +262,72 @@ class TestCli:
         assert lint_main([str(path), "--root", str(tmp_path),
                           "--disable", "D101"]) == 0
         capsys.readouterr()
+
+
+class TestStaleBaseline:
+    """Stale baseline entries fail the run: the ratchet only tightens."""
+
+    def _write_dirty(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import random\n", encoding="utf-8")
+        return path
+
+    def test_fixed_finding_leaves_stale_entry_and_fails(
+        self, tmp_path, capsys
+    ):
+        path = self._write_dirty(tmp_path)
+        base = tmp_path / "base.json"
+        assert lint_main([str(path), "--baseline", str(base),
+                          "--root", str(tmp_path),
+                          "--update-baseline"]) == 0
+        # Fix the violation; the allowance is now unconsumed.
+        path.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(path), "--baseline", str(base),
+                          "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+        assert "1 stale baseline entries" in out
+
+    def test_stale_entries_in_json_output(self, tmp_path, capsys):
+        path = self._write_dirty(tmp_path)
+        base = tmp_path / "base.json"
+        assert lint_main([str(path), "--baseline", str(base),
+                          "--root", str(tmp_path),
+                          "--update-baseline"]) == 0
+        path.write_text("x = 1\n", encoding="utf-8")
+        capsys.readouterr()
+        assert lint_main([str(path), "--baseline", str(base),
+                          "--root", str(tmp_path),
+                          "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["exit_code"] == 1
+        assert data["findings"] == []
+        assert data["stale_baseline"] == [
+            {"path": "mod.py", "rule": "D101", "unused": 1}
+        ]
+
+    def test_update_baseline_clears_stale_entries(self, tmp_path, capsys):
+        path = self._write_dirty(tmp_path)
+        base = tmp_path / "base.json"
+        assert lint_main([str(path), "--baseline", str(base),
+                          "--root", str(tmp_path),
+                          "--update-baseline"]) == 0
+        path.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(path), "--baseline", str(base),
+                          "--root", str(tmp_path),
+                          "--update-baseline"]) == 0
+        assert lint_main([str(path), "--baseline", str(base),
+                          "--root", str(tmp_path)]) == 0
+        assert len(Baseline.load(base)) == 0
+        capsys.readouterr()
+
+    def test_engine_reports_stale_triples(self, tmp_path):
+        path = self._write_dirty(tmp_path)
+        baseline = Baseline({("mod.py", "D101"): 2, ("gone.py", "S101"): 1})
+        config = LintConfig(root=tmp_path)
+        result = run_analysis([path], config=config, baseline=baseline)
+        assert result.stale_baseline == [
+            ("gone.py", "S101", 1),
+            ("mod.py", "D101", 1),
+        ]
+        assert result.exit_code == 1

@@ -1,0 +1,114 @@
+"""E1 family: event-discipline over the name-level call graph.
+
+E101 flags sim-layer functions that mutate state without being
+reachable from event callbacks, the step path, or construction; E102
+flags sim-owned state mutated from outside the sim layer entirely.
+Fixtures configure a synthetic ``sim`` package via the ``sim_packages``
+and ``step_entrypoints`` config kwargs.
+"""
+
+from tests.analysis.conftest import rules_of
+
+SIM_KW = dict(sim_packages=["sim"], step_entrypoints=["step"])
+
+
+class TestE101UnreachableMutation:
+    def test_unreachable_writer_fires(self, lint_package):
+        findings = lint_package({
+            "sim/__init__.py": "",
+            "sim/core.py": (
+                "class System:\n"
+                "    def __init__(self):\n"
+                "        self.wip = 0\n"
+                "    def step(self):\n"
+                "        self.wip += 1\n"
+                "    def rogue_poke(self):\n"
+                "        self.wip = 99\n"
+            ),
+        }, **SIM_KW)
+        e101 = [f for f in findings if f.rule == "E101"]
+        assert len(e101) == 1
+        assert "rogue_poke" in e101[0].message
+
+    def test_step_path_and_init_are_sanctioned(self, lint_package):
+        findings = lint_package({
+            "sim/__init__.py": "",
+            "sim/core.py": (
+                "class System:\n"
+                "    def __init__(self):\n"
+                "        self.wip = 0\n"
+                "    def step(self):\n"
+                "        self._drain()\n"
+                "    def _drain(self):\n"
+                "        self.wip = 0\n"
+            ),
+        }, **SIM_KW)
+        assert "E101" not in rules_of(findings)
+
+    def test_scheduled_callback_is_a_root(self, lint_package):
+        findings = lint_package({
+            "sim/__init__.py": "",
+            "sim/core.py": (
+                "class System:\n"
+                "    def __init__(self, loop):\n"
+                "        loop.schedule(0.0, self._on_arrival)\n"
+                "    def _on_arrival(self):\n"
+                "        self.wip = 1\n"
+            ),
+        }, **SIM_KW)
+        assert "E101" not in rules_of(findings)
+
+    def test_call_from_outside_sim_is_a_root(self, lint_package):
+        findings = lint_package({
+            "sim/__init__.py": "",
+            "sim/core.py": (
+                "class System:\n"
+                "    def drain_now(self):\n"
+                "        self.wip = 0\n"
+            ),
+            "driver/__init__.py": "",
+            "driver/run.py": (
+                "def run(system):\n"
+                "    system.drain_now()\n"
+            ),
+        }, **SIM_KW)
+        assert "E101" not in rules_of(findings)
+
+
+class TestE102ExternalMutation:
+    def test_external_write_to_sim_owned_state_fires(self, lint_package):
+        findings = lint_package({
+            "sim/__init__.py": "",
+            "sim/core.py": "class System:\n    pass\n",
+            "driver/__init__.py": "",
+            "driver/run.py": (
+                "def cheat(env):\n"
+                "    env.system.consumer_budget = 999\n"
+            ),
+        }, **SIM_KW)
+        e102 = [f for f in findings if f.rule == "E102"]
+        assert len(e102) == 1
+        assert e102[0].path == "driver/run.py"
+
+    def test_binding_a_system_reference_is_silent(self, lint_package):
+        findings = lint_package({
+            "sim/__init__.py": "",
+            "driver/__init__.py": "",
+            "driver/run.py": (
+                "class Env:\n"
+                "    def __init__(self, system):\n"
+                "        self.system = system\n"
+            ),
+        }, **SIM_KW)
+        assert "E102" not in rules_of(findings)
+
+    def test_sim_internal_writes_are_exempt_from_e102(self, lint_package):
+        findings = lint_package({
+            "sim/__init__.py": "",
+            "sim/core.py": (
+                "class Loop:\n"
+                "    def step(self, system):\n"
+                "        system.wip = 0\n"
+            ),
+        }, **SIM_KW)
+        assert "E102" not in rules_of(findings)

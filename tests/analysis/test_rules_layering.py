@@ -1,0 +1,84 @@
+"""L1 family: the import DAG at module scope.
+
+The layer map is injected through the ``layers`` config kwarg; lazy
+function-level imports are exempt by design, and modules outside any
+configured layer are unconstrained.
+"""
+
+from tests.analysis.conftest import rules_of
+
+LAYERS = {"base": [], "mid": ["base"], "top": ["mid", "base"]}
+
+
+class TestL101LayerViolations:
+    def test_upward_import_fires(self, lint_package):
+        findings = lint_package({
+            "base/__init__.py": "",
+            "base/util.py": "from top import api\n",
+            "top/__init__.py": "",
+            "top/api.py": "X = 1\n",
+        }, layers=LAYERS)
+        l101 = [f for f in findings if f.rule == "L101"]
+        assert len(l101) == 1
+        assert l101[0].path == "base/util.py"
+        assert "`base` must not import `top`" in l101[0].message
+
+    def test_allowed_edge_is_silent(self, lint_package):
+        findings = lint_package({
+            "base/__init__.py": "",
+            "base/util.py": "X = 1\n",
+            "mid/__init__.py": "",
+            "mid/logic.py": "from base.util import X\n",
+        }, layers=LAYERS)
+        assert "L101" not in rules_of(findings)
+
+    def test_lazy_function_import_is_exempt(self, lint_package):
+        findings = lint_package({
+            "base/__init__.py": "",
+            "base/util.py": (
+                "def render():\n"
+                "    from top import api\n"
+                "    return api.X\n"
+            ),
+            "top/__init__.py": "",
+            "top/api.py": "X = 1\n",
+        }, layers=LAYERS)
+        assert "L101" not in rules_of(findings)
+
+    def test_intra_layer_import_is_silent(self, lint_package):
+        findings = lint_package({
+            "base/__init__.py": "",
+            "base/a.py": "X = 1\n",
+            "base/b.py": "from base.a import X\n",
+        }, layers=LAYERS)
+        assert "L101" not in rules_of(findings)
+
+    def test_unconstrained_module_is_silent(self, lint_package):
+        findings = lint_package({
+            "scripts/__init__.py": "",
+            "scripts/tool.py": "from top import api\nfrom base import util\n",
+            "top/__init__.py": "",
+            "top/api.py": "X = 1\n",
+            "base/__init__.py": "",
+            "base/util.py": "X = 1\n",
+        }, layers=LAYERS)
+        assert "L101" not in rules_of(findings)
+
+    def test_longest_prefix_wins(self, lint_package):
+        layers = {"pkg": [], "pkg.sub": ["pkg"]}
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/core.py": "X = 1\n",
+            "pkg/sub/__init__.py": "",
+            "pkg/sub/leaf.py": "from pkg.core import X\n",
+        }, layers=layers)
+        assert "L101" not in rules_of(findings)
+
+    def test_empty_layer_map_disables_family(self, lint_package):
+        findings = lint_package({
+            "base/__init__.py": "",
+            "base/util.py": "from top import api\n",
+            "top/__init__.py": "",
+            "top/api.py": "X = 1\n",
+        }, layers={})
+        assert "L101" not in rules_of(findings)

@@ -1,0 +1,99 @@
+"""R1 family: cross-module RNG fork-label provenance.
+
+Positive and negative fixtures per rule: R101 (duplicate labels on one
+parent), R102 (constant label in a loop), R103 (fork in a default
+argument), plus the rng-receiver gate that keeps the family off
+unrelated ``fork()`` APIs.
+"""
+
+from tests.analysis.conftest import rules_of
+
+
+class TestR101DuplicateLabels:
+    def test_same_label_same_receiver_across_modules_fires(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/actor.py": "def build(rng):\n    return rng.fork('net')\n",
+            "pkg/critic.py": "def build(rng):\n    return rng.fork('net')\n",
+        })
+        r101 = [f for f in findings if f.rule == "R101"]
+        assert len(r101) == 2  # both call sites are reported
+        assert {f.path for f in r101} == {"pkg/actor.py", "pkg/critic.py"}
+        # Each finding cross-references the other site.
+        assert "pkg/critic.py" in next(
+            f for f in r101 if f.path == "pkg/actor.py"
+        ).message
+
+    def test_distinct_labels_are_silent(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/actor.py": (
+                "def build(rng):\n    return rng.fork('actor/net')\n"
+            ),
+            "pkg/critic.py": (
+                "def build(rng):\n    return rng.fork('critic/net')\n"
+            ),
+        })
+        assert "R101" not in rules_of(findings)
+
+    def test_distinct_receivers_are_silent(self, lint):
+        findings = lint(
+            "def build(actor_rng, critic_rng):\n"
+            "    return actor_rng.fork('net'), critic_rng.fork('net')\n"
+        )
+        assert "R101" not in rules_of(findings)
+
+    def test_non_rng_receiver_is_exempt(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def split(repo):\n    return repo.fork('main')\n",
+            "pkg/b.py": "def split(repo):\n    return repo.fork('main')\n",
+        })
+        assert "R101" not in rules_of(findings)
+
+
+class TestR102LabelInLoop:
+    def test_constant_label_in_loop_fires(self, lint):
+        findings = lint(
+            "def spawn(rng, n):\n"
+            "    out = []\n"
+            "    for _ in range(n):\n"
+            "        out.append(rng.fork('worker'))\n"
+            "    return out\n"
+        )
+        assert "R102" in rules_of(findings)
+
+    def test_computed_label_in_loop_is_silent(self, lint):
+        findings = lint(
+            "def spawn(rng, n):\n"
+            "    out = []\n"
+            "    for i in range(n):\n"
+            "        out.append(rng.fork(f'worker{i}'))\n"
+            "    return out\n"
+        )
+        assert "R102" not in rules_of(findings)
+
+    def test_constant_label_outside_loop_is_silent(self, lint):
+        findings = lint(
+            "def build(rng):\n    return rng.fork('worker')\n"
+        )
+        assert "R102" not in rules_of(findings)
+
+
+class TestR103ForkInDefault:
+    def test_fork_in_default_argument_fires(self, lint):
+        findings = lint(
+            "ROOT_RNG = make_root()\n"
+            "def run(stream=ROOT_RNG.fork('run')):\n"
+            "    return stream\n"
+        )
+        assert "R103" in rules_of(findings)
+
+    def test_fork_in_body_is_silent(self, lint):
+        findings = lint(
+            "def run(root_rng, stream=None):\n"
+            "    if stream is None:\n"
+            "        stream = root_rng.fork('run')\n"
+            "    return stream\n"
+        )
+        assert "R103" not in rules_of(findings)

@@ -1,0 +1,100 @@
+"""T1 family: tracer.emit call sites vs the RECORD_SCHEMAS registry.
+
+The registry is parsed from source (never imported); each rule has a
+positive and a negative fixture, and the whole family stays silent when
+no registry is under analysis.
+"""
+
+from tests.analysis.conftest import rules_of
+
+REGISTRY = (
+    "RECORD_SCHEMAS = {\n"
+    "    'tick': frozenset({'value', 'step'}),\n"
+    "    'loose': build_schema(),\n"
+    "}\n"
+)
+
+
+def package(emitter_source):
+    return {
+        "pkg/__init__.py": "",
+        "pkg/records.py": REGISTRY,
+        "pkg/emitter.py": emitter_source,
+    }
+
+
+class TestT101UnknownKind:
+    def test_unregistered_kind_fires(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer):\n    tracer.emit('nope', value=1)\n"
+        ))
+        t101 = [f for f in findings if f.rule == "T101"]
+        assert len(t101) == 1
+        assert t101[0].path == "pkg/emitter.py"
+        assert "'nope'" in t101[0].message
+
+    def test_registered_kind_is_silent(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer):\n    tracer.emit('tick', value=1, step=2)\n"
+        ))
+        assert rules_of(findings).isdisjoint({"T101", "T102", "T103"})
+
+    def test_without_registry_family_is_silent(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/emitter.py": (
+                "def run(tracer):\n    tracer.emit('anything', x=1)\n"
+            ),
+        })
+        assert rules_of(findings).isdisjoint({"T101", "T102", "T103"})
+
+    def test_non_tracer_receiver_is_exempt(self, lint_package):
+        findings = lint_package(package(
+            "def run(bus):\n    bus.emit('nope', value=1)\n"
+        ))
+        assert "T101" not in rules_of(findings)
+
+
+class TestT102FieldDrift:
+    def test_payload_drift_fires_with_diff(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer):\n    tracer.emit('tick', value=1, extra=3)\n"
+        ))
+        t102 = [f for f in findings if f.rule == "T102"]
+        assert len(t102) == 1
+        assert "missing=['step']" in t102[0].message
+        assert "unexpected=['extra']" in t102[0].message
+
+    def test_exact_fields_any_order_are_silent(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer):\n    tracer.emit('tick', step=2, value=1)\n"
+        ))
+        assert "T102" not in rules_of(findings)
+
+    def test_unresolvable_registry_entry_is_unchecked(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer):\n    tracer.emit('loose', whatever=1)\n"
+        ))
+        assert rules_of(findings).isdisjoint({"T101", "T102"})
+
+
+class TestT103Dynamic:
+    def test_computed_kind_warns(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer, kind):\n    tracer.emit(kind, value=1)\n"
+        ))
+        t103 = [f for f in findings if f.rule == "T103"]
+        assert len(t103) == 1
+        assert str(t103[0].severity) == "warning"
+
+    def test_kwargs_payload_warns(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer, **fields):\n    tracer.emit('tick', **fields)\n"
+        ))
+        assert "T103" in rules_of(findings)
+
+    def test_constant_call_does_not_warn(self, lint_package):
+        findings = lint_package(package(
+            "def run(tracer):\n    tracer.emit('tick', value=1, step=2)\n"
+        ))
+        assert "T103" not in rules_of(findings)

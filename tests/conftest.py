@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.analysis import sanitizer as _sanitizer
+
 from repro.sim.env import MicroserviceEnv
 from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
 from repro.utils.rng import RngStream
@@ -12,6 +14,35 @@ from repro.workload import (
     MSD_BACKGROUND_RATES,
     PoissonArrivalProcess,
 )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: skip the REPRO_SANITIZE runtime checks for this test "
+        "(for tests that deliberately exercise label re-use or raw records)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _repro_sanitize(request):
+    """Run every test under the runtime sanitizer when REPRO_SANITIZE=1.
+
+    The sanitizer asserts the dynamic half of the reprolint contracts —
+    fork-label collisions and emit-schema conformance — per test, with a
+    fresh registry each time.  CI exercises this as its own matrix entry.
+    Tests that deliberately violate a contract (e.g. pinning the documented
+    "re-used labels still yield fresh streams" fork semantics) opt out with
+    ``@pytest.mark.no_sanitize``.
+    """
+    if (
+        not _sanitizer.sanitize_requested()
+        or request.node.get_closest_marker("no_sanitize") is not None
+    ):
+        yield
+        return
+    with _sanitizer.sanitized():
+        yield
 
 
 @pytest.fixture

@@ -52,6 +52,7 @@ class TestFork:
         child = root.fork("c")
         assert not np.array_equal(root.uniform(size=20), child.uniform(size=20))
 
+    @pytest.mark.no_sanitize  # deliberately re-uses a fork label
     def test_same_seed_and_label_sequence_reproduces_children(self):
         def draws():
             root = spawn_rngs(123, ["r"])["r"]
@@ -71,6 +72,7 @@ class TestFork:
         b = root.fork("critic").uniform(size=50)
         assert not np.array_equal(a, b)
 
+    @pytest.mark.no_sanitize  # deliberately re-uses a fork label
     def test_repeated_label_gives_fresh_distinct_stream(self):
         root = spawn_rngs(9, ["r"])["r"]
         first = root.fork("layer").normal(size=30)
