@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Observability overhead benchmark + regression gate.
+
+Measures the observability subsystem's costs on the loaded MSD system
+and writes ``BENCH_observability.json`` at the repository root:
+
+- ``noop_overhead_pct`` — the **estimated** cost of the disabled
+  telemetry path, computed machine-independently as::
+
+      sites_per_window * disabled_guard_ns / window_ns * 100
+
+  where ``sites_per_window`` is counted from an enabled run (each
+  instrumentation site evaluates exactly one ``if tracer.enabled:``
+  guard per record it would emit) and both timings come from the same
+  process/machine, so the ratio transfers across hardware in a way raw
+  throughput numbers do not.
+- enabled-path overheads (memory sink, metrics tee) and the offline
+  aggregation throughput, reported informationally.
+
+``--check`` exits non-zero when ``noop_overhead_pct`` exceeds the 2%
+budget that docs/OBSERVABILITY.md promises — this is the CI gate.
+
+Run:  PYTHONPATH=src python benchmarks/run_observability_bench.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
+from repro.telemetry import (
+    MemorySink,
+    MetricsSink,
+    NULL_PROFILER,
+    NULL_TRACER,
+    PhaseProfiler,
+    Tracer,
+    aggregate_trace,
+)
+from repro.workflows import build_msd_ensemble
+from repro.workload import PoissonArrivalProcess
+from repro.workload.bursts import MSD_BACKGROUND_RATES
+
+#: The documented ceiling for the disabled path (docs/OBSERVABILITY.md).
+BUDGET_PCT = 2.0
+
+ARTIFACT = "BENCH_observability.json"
+
+GUARD_LOOP = 200_000
+
+
+def _loaded_system(tracer=None, profiler=None):
+    system = MicroserviceWorkflowSystem(
+        build_msd_ensemble(),
+        SystemConfig(consumer_budget=14),
+        seed=0,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    PoissonArrivalProcess(MSD_BACKGROUND_RATES).attach(system)
+    system.inject_burst({"Type1": 200, "Type2": 100, "Type3": 100})
+    system.apply_allocation([4, 4, 3, 3])
+    return system
+
+
+def _time_windows(windows: int, repeats: int, **system_kwargs) -> float:
+    """Best-of-``repeats`` seconds for ``windows`` windows, fresh system each."""
+    best = float("inf")
+    for _ in range(repeats):
+        system = _loaded_system(**system_kwargs)
+        start = time.perf_counter()
+        for _ in range(windows):
+            system.run_window()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _guard_ns(obj) -> float:
+    """Per-evaluation nanoseconds of ``if obj.enabled:`` in a tight loop."""
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        hits = 0
+        for _ in range(GUARD_LOOP):
+            if obj.enabled:
+                hits += 1
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        assert hits == 0
+    return best / GUARD_LOOP * 1e9
+
+
+def run_benchmark(windows: int, repeats: int) -> dict:
+    # Count instrumentation sites executed per window from an enabled run:
+    # every emit site writes exactly one record when enabled, and would
+    # evaluate exactly one guard when disabled.  Add the per-window
+    # profiler guard in EventLoop.run_until.
+    counting_sink = MemorySink()
+    counted = _loaded_system(tracer=Tracer(counting_sink))
+    for _ in range(windows):
+        counted.run_window()
+    records = list(counting_sink.records)
+    sites_per_window = len(records) / windows + 1.0
+
+    baseline_s = _time_windows(windows, repeats)
+    window_ns = baseline_s / windows * 1e9
+
+    tracer_guard_ns = _guard_ns(NULL_TRACER)
+    profiler_guard_ns = _guard_ns(NULL_PROFILER)
+    guard_ns = max(tracer_guard_ns, profiler_guard_ns)
+    noop_overhead_pct = sites_per_window * guard_ns / window_ns * 100.0
+
+    traced_s = _time_windows(
+        windows, repeats, tracer=Tracer(MemorySink())
+    )
+    metrics_s = _time_windows(
+        windows, repeats, tracer=Tracer(MetricsSink(MemorySink()))
+    )
+    profiled_s = _time_windows(
+        windows, repeats,
+        tracer=Tracer(MemorySink()), profiler=PhaseProfiler(),
+    )
+
+    start = time.perf_counter()
+    aggregate_trace(records)
+    aggregation_s = time.perf_counter() - start
+
+    return {
+        "artifact_version": 1,
+        "budget_pct": BUDGET_PCT,
+        "noop_overhead_pct": noop_overhead_pct,
+        "disabled_guard_ns": {
+            "tracer": tracer_guard_ns,
+            "profiler": profiler_guard_ns,
+        },
+        "sites_per_window": sites_per_window,
+        "window_seconds": {
+            "untraced": baseline_s / windows,
+            "traced_memory": traced_s / windows,
+            "traced_metrics_tee": metrics_s / windows,
+            "traced_profiled": profiled_s / windows,
+        },
+        "enabled_overhead_pct": {
+            "traced_memory": (traced_s / baseline_s - 1.0) * 100.0,
+            "traced_metrics_tee": (metrics_s / baseline_s - 1.0) * 100.0,
+            "traced_profiled": (profiled_s / baseline_s - 1.0) * 100.0,
+        },
+        "aggregation": {
+            "records": len(records),
+            "records_per_second": len(records) / aggregation_s
+            if aggregation_s > 0 else None,
+        },
+        "workload": {
+            "dataset": "msd",
+            "windows": windows,
+            "repeats": repeats,
+            "burst": {"Type1": 200, "Type2": 100, "Type3": 100},
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--windows", type=int, default=5,
+                        help="control windows per measurement")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per configuration (best-of)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / ARTIFACT),
+        help="where to write the JSON artifact",
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if the no-op overhead exceeds budget")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.windows, args.repeats)
+    Path(args.output).write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    print(f"wrote {args.output}")
+    print(f"instrumentation sites/window: {result['sites_per_window']:.0f}")
+    print(f"disabled guard: tracer "
+          f"{result['disabled_guard_ns']['tracer']:.1f} ns, profiler "
+          f"{result['disabled_guard_ns']['profiler']:.1f} ns")
+    print(f"estimated no-op overhead: "
+          f"{result['noop_overhead_pct']:.3f}% (budget {BUDGET_PCT}%)")
+    for name, pct in result["enabled_overhead_pct"].items():
+        print(f"enabled overhead [{name}]: {pct:+.1f}%")
+    rps = result["aggregation"]["records_per_second"]
+    if rps:
+        print(f"aggregation throughput: {rps:,.0f} records/s")
+
+    if args.check and result["noop_overhead_pct"] > BUDGET_PCT:
+        print(
+            f"FAIL: no-op overhead {result['noop_overhead_pct']:.3f}% "
+            f"exceeds the {BUDGET_PCT}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,14 @@ from repro.sim import MicroserviceEnv, MicroserviceWorkflowSystem, SystemConfig
 from repro.sim.faults import crash_one_consumer
 from repro.telemetry import (
     JsonlSink,
+    MetricsSink,
     RunManifest,
     Tracer,
+    aggregate_trace,
     load_trace,
     read_manifest,
     render_report,
+    snapshot_to_json,
     wall_time_now,
     write_manifest,
 )
@@ -55,30 +58,42 @@ TINY_CONFIG = MirasConfig(
 
 def run_traced(outdir: Path, seed: int = 7) -> RunManifest:
     """One traced MSD run: burst + fault + tiny training; returns manifest."""
-    tracer = Tracer(JsonlSink(outdir / "trace.jsonl"))
-    system = MicroserviceWorkflowSystem(
-        build_msd_ensemble(),
-        SystemConfig(consumer_budget=14),
-        seed=seed,
-        tracer=tracer,
+    # The tracer is a context manager: the sink chain is flushed and
+    # closed on exit, even if the run raises.  The MetricsSink tees every
+    # record into the streaming aggregation engine on its way to disk.
+    metrics = MetricsSink(JsonlSink(outdir / "trace.jsonl"))
+    with Tracer(metrics) as tracer:
+        system = MicroserviceWorkflowSystem(
+            build_msd_ensemble(),
+            SystemConfig(consumer_budget=14),
+            seed=seed,
+            tracer=tracer,
+        )
+        PoissonArrivalProcess(MSD_BACKGROUND_RATES).attach(system)
+
+        # A hand-driven burst with a mid-flight container crash: watch
+        # for event.fault and event.redeliver records in the trace.
+        system.inject_burst({"Type3": 20})
+        system.apply_allocation([4, 4, 3, 3])
+        system.run_window()
+        crash_one_consumer(system.microservices["Preprocess"])
+        system.run_window()
+
+        # One tiny Algorithm 2 iteration on the same (traced) system:
+        # the agent inherits the system's tracer, so model losses, DDPG
+        # losses, parameter-noise sigma and eval rewards land in the
+        # same trace.
+        agent = MirasAgent(MicroserviceEnv(system), TINY_CONFIG, seed=seed)
+        agent.iterate()
+
+    # Live aggregates vs. offline replay of the trace we just wrote:
+    # identical by construction (same records, same aggregator code).
+    live = snapshot_to_json(metrics.snapshot())
+    replayed = snapshot_to_json(
+        aggregate_trace(load_trace(outdir)).snapshot()
     )
-    PoissonArrivalProcess(MSD_BACKGROUND_RATES).attach(system)
+    assert live == replayed, "live and replayed metrics diverged"
 
-    # A hand-driven burst with a mid-flight container crash: watch for
-    # event.fault and event.redeliver records in the trace.
-    system.inject_burst({"Type3": 20})
-    system.apply_allocation([4, 4, 3, 3])
-    system.run_window()
-    crash_one_consumer(system.microservices["Preprocess"])
-    system.run_window()
-
-    # One tiny Algorithm 2 iteration on the same (traced) system: the
-    # agent inherits the system's tracer, so model losses, DDPG losses,
-    # parameter-noise sigma and eval rewards land in the same trace.
-    agent = MirasAgent(MicroserviceEnv(system), TINY_CONFIG, seed=seed)
-    agent.iterate()
-
-    tracer.close()
     manifest = RunManifest(
         run_name=outdir.name,
         seed=seed,

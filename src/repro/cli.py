@@ -8,14 +8,21 @@
     python -m repro model-accuracy --dataset ligo
     python -m repro trace --dataset msd --output runs/trace-msd
     python -m repro report runs/trace-msd
+    python -m repro metrics runs/trace-msd --format prom
+    python -m repro profile run --dataset msd --output runs/prof-msd
+    python -m repro profile report runs/prof-msd
 
 ``train`` runs Algorithm 2; ``evaluate`` deploys a saved agent on a paper
 burst scenario; ``simulate`` runs a heuristic allocator (no learning);
 ``model-accuracy`` reproduces the Fig. 5 protocol; ``trace`` reruns a
-simulation or training run with telemetry on, writing a JSONL trace and a
-run manifest; ``report`` summarizes such a trace into utilization,
-queue-depth, container-lifecycle, and training-curve tables
-(docs/OBSERVABILITY.md).
+simulation or training run with telemetry on, writing a JSONL trace, a
+run manifest, and aggregated metrics; ``report`` summarizes such a trace
+into utilization, queue-depth, container-lifecycle, and training-curve
+tables (``--json`` for machine-readable output); ``metrics`` replays a
+trace through the streaming aggregation engine (text, JSON, or
+Prometheus exposition output); ``profile run`` is ``trace`` with the
+phase profiler on (adds ``profile.json``); ``profile report`` renders a
+saved phase tree (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -78,24 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="run a traced simulation/training run (JSONL + manifest)"
     )
-    _add_dataset(trace)
-    trace.add_argument("--mode", choices=("simulate", "train"),
-                       default="simulate")
-    trace.add_argument(
-        "--allocator",
-        choices=("uniform", "wip", "stream", "heft", "hpa", "oracle"),
-        default="uniform",
-        help="allocator for --mode simulate",
-    )
-    trace.add_argument("--burst", type=int, default=0,
-                       help="burst scenario index for --mode simulate")
-    trace.add_argument("--steps", type=int, default=30,
-                       help="control windows for --mode simulate")
-    trace.add_argument("--iterations", type=int, default=1,
-                       help="Algorithm 2 iterations for --mode train")
-    trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--output", required=True,
-                       help="run directory for trace.jsonl + manifest.json")
+    _add_trace_options(trace)
 
     report = sub.add_parser(
         "report", help="summarize a trace file or run directory"
@@ -104,6 +94,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace.jsonl file or directory containing one")
     report.add_argument("--validate", action="store_true",
                         help="check every record against its schema")
+    report.add_argument("--json", action="store_true",
+                        help="emit the summaries as one JSON document")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="aggregate a trace into counters/gauges/histograms",
+    )
+    metrics.add_argument(
+        "path", help="trace.jsonl file or run directory containing one"
+    )
+    metrics.add_argument("--format", choices=("text", "json", "prom"),
+                         default="text")
+    metrics.add_argument("--validate", action="store_true",
+                         help="check every record against its schema")
+    metrics.add_argument(
+        "--output", default=None,
+        help="also write metrics.json + metrics.prom into this directory",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="phase-profiled runs and profile reports"
+    )
+    psub = profile.add_subparsers(dest="profile_command", required=True)
+    profile_run = psub.add_parser(
+        "run", help="a traced run with the phase profiler on"
+    )
+    _add_trace_options(profile_run)
+    profile_report = psub.add_parser(
+        "report", help="render a saved profile.json phase tree"
+    )
+    profile_report.add_argument(
+        "path", help="profile.json file or run directory containing one"
+    )
+    profile_report.add_argument("--max-depth", type=int, default=None,
+                                help="truncate the tree at this depth")
 
     # `lint` forwards everything to repro.analysis (handled in main()
     # before parsing, because argparse.REMAINDER drops leading options);
@@ -119,6 +144,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_dataset(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=("msd", "ligo"), default="msd")
+
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``trace`` and ``profile run``."""
+    _add_dataset(parser)
+    parser.add_argument("--mode", choices=("simulate", "train"),
+                        default="simulate")
+    parser.add_argument(
+        "--allocator",
+        choices=("uniform", "wip", "stream", "heft", "hpa", "oracle"),
+        default="uniform",
+        help="allocator for --mode simulate",
+    )
+    parser.add_argument("--burst", type=int, default=0,
+                        help="burst scenario index for --mode simulate")
+    parser.add_argument("--steps", type=int, default=30,
+                        help="control windows for --mode simulate")
+    parser.add_argument("--iterations", type=int, default=1,
+                        help="Algorithm 2 iterations for --mode train")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", required=True,
+                        help="run directory for trace.jsonl + manifest.json")
 
 
 def _cmd_train(args) -> int:
@@ -239,6 +286,16 @@ def _cmd_model_accuracy(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    return _traced_run(args, profile=False)
+
+
+def _traced_run(args, profile: bool) -> int:
+    """Shared body of ``trace`` and ``profile run``.
+
+    Writes ``trace.jsonl``, ``manifest.json``, ``metrics.json`` and
+    ``metrics.prom`` into the run directory; with ``profile=True`` also
+    ``profile.json`` (the one artifact outside the determinism contract).
+    """
     from pathlib import Path
 
     import repro
@@ -247,14 +304,21 @@ def _cmd_trace(args) -> int:
     from repro.sim.system import SystemConfig
     from repro.telemetry import (
         JsonlSink,
+        MetricsSink,
+        PhaseProfiler,
         RunManifest,
         Tracer,
+        render_profile,
         wall_time_now,
         write_manifest,
+        write_metrics,
+        write_profile,
     )
 
     outdir = Path(args.output)
-    tracer = Tracer(JsonlSink(outdir / "trace.jsonl"))
+    prog = "profile run" if profile else "trace"
+    profiler = PhaseProfiler() if profile else None
+    sink = MetricsSink(JsonlSink(outdir / "trace.jsonl"))
     preset = dataset_preset(args.dataset)
     config_snapshot = {
         "dataset": args.dataset,
@@ -262,51 +326,53 @@ def _cmd_trace(args) -> int:
         "consumer_budget": preset["budget"],
         "seed": args.seed,
     }
-    if args.mode == "simulate":
-        from repro.eval.runner import evaluate_allocator
+    with Tracer(sink) as tracer:
+        if args.mode == "simulate":
+            from repro.eval.runner import evaluate_allocator
 
-        scenario = _scenario(preset, args.burst)
-        config_snapshot.update(
-            allocator=args.allocator, burst=args.burst, steps=args.steps
-        )
-        command = (
-            f"trace --dataset {args.dataset} --mode simulate "
-            f"--allocator {args.allocator} --burst {args.burst} "
-            f"--steps {args.steps} --seed {args.seed}"
-        )
-        env = make_env(
-            preset["builder"](),
-            config=SystemConfig(consumer_budget=preset["budget"]),
-            seed=args.seed,
-            background_rates=dict(scenario.background_rates),
-            tracer=tracer,
-        )
-        result = evaluate_allocator(
-            _make_allocator(args.allocator), env, scenario, args.steps
-        )
-        print(
-            f"{result.allocator} on {result.scenario}: "
-            f"aggregated reward {result.aggregated_reward():.0f}, "
-            f"mean response time {result.mean_response_time():.1f} s"
-        )
-    else:
-        from repro.core.agent import MirasAgent
+            scenario = _scenario(preset, args.burst)
+            config_snapshot.update(
+                allocator=args.allocator, burst=args.burst, steps=args.steps
+            )
+            command = (
+                f"{prog} --dataset {args.dataset} --mode simulate "
+                f"--allocator {args.allocator} --burst {args.burst} "
+                f"--steps {args.steps} --seed {args.seed}"
+            )
+            env = make_env(
+                preset["builder"](),
+                config=SystemConfig(consumer_budget=preset["budget"]),
+                seed=args.seed,
+                background_rates=dict(scenario.background_rates),
+                tracer=tracer,
+                profiler=profiler,
+            )
+            result = evaluate_allocator(
+                _make_allocator(args.allocator), env, scenario, args.steps
+            )
+            print(
+                f"{result.allocator} on {result.scenario}: "
+                f"aggregated reward {result.aggregated_reward():.0f}, "
+                f"mean response time {result.mean_response_time():.1f} s"
+            )
+        else:
+            from repro.core.agent import MirasAgent
 
-        config_snapshot.update(iterations=args.iterations)
-        command = (
-            f"trace --dataset {args.dataset} --mode train "
-            f"--iterations {args.iterations} --seed {args.seed}"
-        )
-        env = make_env(
-            preset["builder"](),
-            config=SystemConfig(consumer_budget=preset["budget"]),
-            seed=args.seed,
-            background_rates=preset["rates"],
-            tracer=tracer,
-        )
-        agent = MirasAgent(env, preset["fast_config"](), seed=args.seed)
-        agent.iterate(iterations=args.iterations, verbose=True)
-    tracer.close()
+            config_snapshot.update(iterations=args.iterations)
+            command = (
+                f"{prog} --dataset {args.dataset} --mode train "
+                f"--iterations {args.iterations} --seed {args.seed}"
+            )
+            env = make_env(
+                preset["builder"](),
+                config=SystemConfig(consumer_budget=preset["budget"]),
+                seed=args.seed,
+                background_rates=preset["rates"],
+                tracer=tracer,
+                profiler=profiler,
+            )
+            agent = MirasAgent(env, preset["fast_config"](), seed=args.seed)
+            agent.iterate(iterations=args.iterations, verbose=True)
     manifest = RunManifest(
         run_name=outdir.name,
         seed=args.seed,
@@ -319,9 +385,15 @@ def _cmd_trace(args) -> int:
         wall_time=wall_time_now(),
     )
     manifest_path = write_manifest(outdir, manifest)
+    metrics_path = write_metrics(outdir, sink)
     print(f"trace: {outdir / 'trace.jsonl'} "
           f"({tracer.records_written} records)")
     print(f"manifest: {manifest_path}")
+    print(f"metrics: {metrics_path}")
+    if profiler is not None:
+        profile_path = write_profile(outdir, profiler)
+        print(f"profile: {profile_path}\n")
+        print(render_profile(profiler))
     return 0
 
 
@@ -333,6 +405,13 @@ def _cmd_report(args) -> int:
 
     path = Path(args.path)
     records = load_trace(path, validate=args.validate)
+    if args.json:
+        import json
+
+        from repro.telemetry import report_json
+
+        print(json.dumps(report_json(records), sort_keys=True, indent=2))
+        return 0
     print(render_report(records, title=f"Trace report: {args.path}"))
     manifest_path = (path if path.is_dir() else path.parent) / MANIFEST_FILENAME
     if manifest_path.exists():
@@ -343,6 +422,43 @@ def _cmd_report(args) -> int:
             f"schema v{manifest.schema_version}, "
             f"command `repro {manifest.command}`"
         )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import (
+        aggregate_trace,
+        load_trace,
+        render_metrics,
+        snapshot_to_json,
+        write_metrics,
+    )
+
+    records = load_trace(Path(args.path), validate=args.validate)
+    sink = aggregate_trace(records)
+    if args.output:
+        target = write_metrics(args.output, sink)
+        print(f"metrics written to {target.parent}", file=sys.stderr)
+    if args.format == "json":
+        print(snapshot_to_json(sink.snapshot()), end="")
+    elif args.format == "prom":
+        print(sink.to_prometheus(), end="")
+    else:
+        print(render_metrics(sink.snapshot()))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    if args.profile_command == "run":
+        return _traced_run(args, profile=True)
+    from pathlib import Path
+
+    from repro.telemetry import read_profile, render_profile
+
+    document = read_profile(Path(args.path))
+    print(render_profile(document, max_depth=args.max_depth))
     return 0
 
 
@@ -380,6 +496,8 @@ _COMMANDS = {
     "model-accuracy": _cmd_model_accuracy,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
 }
 
 

@@ -31,6 +31,7 @@ from repro.core.model_env import ModelEnv
 from repro.core.refinement import RefinedModel
 from repro.rl.ddpg import DDPGAgent
 from repro.sim.env import MicroserviceEnv
+from repro.telemetry.profile import PhaseProfiler
 from repro.telemetry.tracer import Tracer
 from repro.utils.rng import RngStream, spawn_rngs
 
@@ -62,12 +63,16 @@ class MirasAgent:
         config: Optional[MirasConfig] = None,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ):
         self.env = env
         self.config = config or MirasConfig()
         #: Telemetry tracer; inherits the environment's system tracer so a
         #: traced system automatically gets training-loop scalars too.
         self.tracer = tracer if tracer is not None else env.system.tracer
+        #: Phase profiler; likewise inherited from the system so one
+        #: profiler covers simulation dispatch and training phases.
+        self.profiler = profiler if profiler is not None else env.system.profiler
         self._rngs = spawn_rngs(
             seed, ["collect", "model", "refine", "model-env", "ddpg"]
         )
@@ -79,6 +84,7 @@ class MirasAgent:
             learning_rate=self.config.model.learning_rate,
             rng=self._rngs["model"],
             tracer=self.tracer,
+            profiler=self.profiler,
         )
         self.ddpg = DDPGAgent(
             env.state_dim,
@@ -86,6 +92,7 @@ class MirasAgent:
             config=self.config.policy.ddpg,
             rng=self._rngs["ddpg"],
             tracer=self.tracer,
+            profiler=self.profiler,
         )
         self.refined_model: Optional[Union[RefinedModel, EnvironmentModel]] = None
         self.results: List[IterationResult] = []
@@ -178,6 +185,7 @@ class MirasAgent:
                 percentile=self.config.model.refinement_percentile,
                 rng=self._rngs["refine"].fork(f"n{len(self.dataset)}"),
                 tracer=self.tracer,
+                profiler=self.profiler,
             )
         else:
             self.refined_model = self.model
@@ -304,12 +312,19 @@ class MirasAgent:
             random_fraction = (
                 self.config.initial_random_fraction if len(self.results) == 0 else 0.0
             )
-            self.collect_real_interactions(
-                self.config.steps_per_iteration, random_fraction=random_fraction
-            )
-            model_loss = self.train_model()
-            rollouts, mean_return = self.train_policy()
-            result = self.evaluate()
+            # Once-per-iteration phases: no ``enabled`` guard needed, the
+            # disabled profiler hands back a shared no-op context manager.
+            with self.profiler.phase("agent/collect"):
+                self.collect_real_interactions(
+                    self.config.steps_per_iteration,
+                    random_fraction=random_fraction,
+                )
+            with self.profiler.phase("agent/train_model"):
+                model_loss = self.train_model()
+            with self.profiler.phase("agent/train_policy"):
+                rollouts, mean_return = self.train_policy()
+            with self.profiler.phase("agent/evaluate"):
+                result = self.evaluate()
             result.model_loss = model_loss
             result.policy_rollouts = rollouts
             result.policy_mean_return = mean_return

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
+from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream, fallback_stream
 
@@ -42,6 +43,7 @@ class RefinedModel:
         omega: np.ndarray,
         rng: Optional[RngStream] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ):
         tau = np.asarray(tau, dtype=np.float64)
         omega = np.asarray(omega, dtype=np.float64)
@@ -60,6 +62,7 @@ class RefinedModel:
         self.omega = omega
         self._rng = rng
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         #: Count of Lend–Giveback activations (for tests/ablation).
         self.lend_count = 0
         #: Sum of |refined - raw| corrections (the lend–giveback delta).
@@ -74,6 +77,7 @@ class RefinedModel:
         rng: Optional[RngStream] = None,
         tau_floor: float = 1.0,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> "RefinedModel":
         """Initialise tau/omega by "simple statistical analysis" over D.
 
@@ -85,7 +89,9 @@ class RefinedModel:
         tau, omega = dataset.wip_percentiles(percentile)
         tau = np.maximum(tau, tau_floor)
         omega = np.maximum(omega, tau + tau_floor)
-        return cls(model, tau, omega, rng=rng, tracer=tracer)
+        return cls(
+            model, tau, omega, rng=rng, tracer=tracer, profiler=profiler
+        )
 
     @property
     def state_dim(self) -> int:
@@ -104,6 +110,12 @@ class RefinedModel:
         assembled into ŝ(k+1) (above-threshold dimensions use the raw
         model).  The output is clamped at 0 in every dimension.
         """
+        if self.profiler.enabled:
+            with self.profiler.phase("refine/predict"):
+                return self._predict(state, action)
+        return self._predict(state, action)
+
+    def _predict(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
         state = np.asarray(state, dtype=np.float64)
         action = np.asarray(action, dtype=np.float64)
         if state.ndim != 1:
@@ -122,7 +134,11 @@ class RefinedModel:
             rho = float(self._rng.uniform(low, high))
             lent = state.copy()
             lent[j] += rho  # Lend
-            predicted = self.model.predict(lent, action)
+            if self.profiler.enabled:
+                with self.profiler.phase("refine/lend"):
+                    predicted = self.model.predict(lent, action)
+            else:
+                predicted = self.model.predict(lent, action)
             refined[j] = max(predicted[j] - rho, 0.0)  # Giveback
             self.lend_count += 1
             self.lend_delta_total += abs(refined[j] - max(base[j], 0.0))

@@ -28,6 +28,7 @@ from repro.rl.noise import (
     project_to_simplex,
 )
 from repro.rl.replay import ReplayBuffer
+from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_in_range, check_positive
@@ -99,12 +100,14 @@ class DDPGAgent:
         config: Optional[DDPGConfig] = None,
         rng: Optional[RngStream] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ):
         self.config = config or DDPGConfig()
         if rng is None:
             rng = fallback_stream("ddpg")
         self.rng = rng
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.state_dim = state_dim
         self.action_dim = action_dim
         cfg = self.config
@@ -128,7 +131,12 @@ class DDPGAgent:
             reward_scale=cfg.reward_scale,
             rng=rng.fork("critic"),
         )
-        self.replay = ReplayBuffer(cfg.buffer_capacity, state_dim, action_dim)
+        self.replay = ReplayBuffer(
+            cfg.buffer_capacity,
+            state_dim,
+            action_dim,
+            profiler=self.profiler,
+        )
 
         self.param_noise = AdaptiveParameterNoise(
             initial_sigma=cfg.param_noise_sigma, delta=cfg.param_noise_delta
@@ -222,6 +230,12 @@ class DDPGAgent:
 
     def update(self) -> Tuple[float, float]:
         """One DDPG update; returns (critic_loss, mean_q_of_policy)."""
+        if self.profiler.enabled:
+            with self.profiler.phase("ddpg/update"):
+                return self._update()
+        return self._update()
+
+    def _update(self) -> Tuple[float, float]:
         cfg = self.config
         if len(self.replay) == 0:
             raise RuntimeError("cannot update with an empty replay buffer")

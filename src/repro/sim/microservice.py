@@ -224,8 +224,15 @@ class Microservice:
                 "finished consumer has no in-flight request")
         request = self.queue.ack(consumer.current_tag)
         now = self.loop.now
+        service_time = now - consumer.processing_started_at
         consumer.tasks_completed += 1
-        consumer.busy_time += now - consumer.processing_started_at
+        consumer.busy_time += service_time
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.task_complete",
+                service=self.name,
+                service_time=service_time,
+            )
         consumer.current_tag = None
         consumer.current_request = None
         consumer.pending_event = None

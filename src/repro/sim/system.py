@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.sim.metrics import (
 from repro.sim.microservice import Microservice
 from repro.sim.requests import TaskRequest, WorkflowRequest
 from repro.sim.tds import TaskDependencyService
+from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.utils.rng import RngStream, spawn_rngs
 from repro.utils.validation import check_positive
@@ -114,15 +115,31 @@ class MicroserviceWorkflowSystem:
         config: Optional[SystemConfig] = None,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseProfiler] = None,
+        window_hooks: Optional[
+            Sequence[Callable[[WindowObservation], None]]
+        ] = None,
     ):
         self.ensemble = ensemble
         self.config = config or SystemConfig()
-        self.loop = EventLoop()
+        #: Phase profiler shared with the event loop (and, via
+        #: MirasAgent, the training stack); the disabled NULL_PROFILER by
+        #: default.  Profiler output is wall-clock measurement and lives
+        #: outside the trace-determinism contract.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.loop = EventLoop(profiler=self.profiler)
         #: Telemetry tracer shared by every component of this system;
         #: defaults to the disabled NULL_TRACER (near-zero overhead).
         #: Timestamps come from the simulation clock, never wall time.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind_clock(lambda: self.loop.now)
+        #: Called with each WindowObservation at the end of run_window()
+        #: — the periodic snapshot hook live consumers (metrics
+        #: dashboards, progress meters) attach to.  Fixed at construction
+        #: so the set of observers cannot drift mid-run.
+        self.window_hooks: Tuple[Callable[[WindowObservation], None], ...] = (
+            tuple(window_hooks) if window_hooks else ()
+        )
         self._rngs = spawn_rngs(
             seed, ["service_times", "startup", "workload", "misc"]
         )
@@ -343,6 +360,8 @@ class MicroserviceWorkflowSystem:
         self._window_response_times = []
         self._window_response_by_type = {}
         self._window_task_completions = {}
+        for hook in self.window_hooks:
+            hook(observation)
         return observation
 
     def drain(

@@ -9,17 +9,22 @@ The observability layer of docs/OBSERVABILITY.md:
 - :mod:`repro.telemetry.records` — the record-kind registry and schemas,
 - :mod:`repro.telemetry.manifest` — per-run provenance documents,
 - :mod:`repro.telemetry.report` — trace file → summary tables (the
-  ``repro report`` CLI).
+  ``repro report`` CLI),
+- :mod:`repro.telemetry.metrics` — streaming aggregation into counters,
+  gauges, EWMAs and histograms, with JSON and Prometheus exposition
+  (the ``repro metrics`` CLI),
+- :mod:`repro.telemetry.profile` — the hierarchical phase profiler
+  (wall/CPU time per phase; outside the determinism contract).
 
-Typical use::
+Typical use (the tracer is a context manager — the sink is flushed and
+closed on exit, including exceptional exit)::
 
-    from repro.telemetry import JsonlSink, Tracer
+    from repro.telemetry import JsonlSink, MetricsSink, Tracer
 
-    tracer = Tracer(JsonlSink("runs/demo/trace.jsonl"))
-    system = MicroserviceWorkflowSystem(ensemble, config, seed=0,
-                                        tracer=tracer)
-    ...
-    tracer.close()
+    with Tracer(MetricsSink(JsonlSink("runs/demo/trace.jsonl"))) as tracer:
+        system = MicroserviceWorkflowSystem(ensemble, config, seed=0,
+                                            tracer=tracer)
+        ...
 """
 
 from repro.telemetry.manifest import (
@@ -35,11 +40,31 @@ from repro.telemetry.records import (
     SCHEMA_VERSION,
     validate_record,
 )
+from repro.telemetry.metrics import (
+    MetricsAggregator,
+    MetricsRegistry,
+    MetricsSink,
+    SNAPSHOT_VERSION,
+    aggregate_run,
+    aggregate_trace,
+    render_metrics,
+    snapshot_to_json,
+    write_metrics,
+)
+from repro.telemetry.profile import (
+    NULL_PROFILER,
+    PROFILE_VERSION,
+    PhaseProfiler,
+    read_profile,
+    render_profile,
+    write_profile,
+)
 from repro.telemetry.report import (
     consumer_summary,
     load_trace,
     queue_summary,
     render_report,
+    report_json,
     training_curves,
     utilization_summary,
 )
@@ -67,5 +92,21 @@ __all__ = [
     "queue_summary",
     "consumer_summary",
     "training_curves",
+    "report_json",
     "render_report",
+    "SNAPSHOT_VERSION",
+    "MetricsRegistry",
+    "MetricsAggregator",
+    "MetricsSink",
+    "aggregate_trace",
+    "aggregate_run",
+    "snapshot_to_json",
+    "render_metrics",
+    "write_metrics",
+    "PROFILE_VERSION",
+    "PhaseProfiler",
+    "NULL_PROFILER",
+    "render_profile",
+    "write_profile",
+    "read_profile",
 ]

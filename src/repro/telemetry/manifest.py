@@ -39,10 +39,12 @@ MANIFEST_FILENAME = "manifest.json"
 def wall_time_now() -> float:
     """Wall-clock timestamp (epoch seconds) for manifest bookkeeping.
 
-    This is the single sanctioned wall-clock read in the package: the
+    One of the three sanctioned wall-clock reads in the package (the
+    other two time phases in :mod:`repro.telemetry.profile`): the
     manifest documents *when a run happened*, which is inherently not
     simulation data.  Trace records themselves only ever carry
-    simulation-clock timestamps.
+    simulation-clock timestamps, and everything measured by a real clock
+    is excluded from the determinism contract.
     """
     return time.time()  # reprolint: disable=D102
 

@@ -1,0 +1,849 @@
+"""Streaming metrics aggregation: from trace records to live histograms.
+
+The metrics engine turns the record stream a :class:`~repro.telemetry.tracer.Tracer`
+emits into *aggregates* — labeled counters, gauges, EWMAs, and
+fixed-bucket histograms with exact quantile readout (P50/P95/P99 of
+response time, queue depth, startup latency, per-service WIP and
+utilization, training-loss EWMAs).  It is fed two ways:
+
+- **live** — a :class:`MetricsSink` composes with any other sink
+  (``Tracer(MetricsSink(JsonlSink(...)))``) and aggregates every record
+  as it is written,
+- **offline** — :func:`aggregate_trace` replays an existing
+  ``trace.jsonl`` through the *same* aggregator code path.
+
+Because both paths consume the identical record dicts, the live and
+post-hoc numbers are equal **by construction** — the determinism tests
+pin byte-identical JSON snapshots.  Nothing in this module reads a
+clock or an RNG: every aggregate is a pure function of the record
+stream, so same-seed runs produce identical snapshots.
+
+Snapshots export two ways: a versioned JSON document
+(:meth:`MetricsRegistry.snapshot` + :func:`snapshot_to_json`) and the
+Prometheus text exposition format (:meth:`MetricsRegistry.to_prometheus`).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left, insort
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.sinks import Sink
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "Counter",
+    "Gauge",
+    "Ewma",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsAggregator",
+    "MetricsSink",
+    "aggregate_trace",
+    "aggregate_run",
+    "snapshot_to_json",
+    "render_metrics",
+    "write_metrics",
+    "RESPONSE_TIME_BUCKETS",
+    "STARTUP_LATENCY_BUCKETS",
+    "QUEUE_DEPTH_BUCKETS",
+    "SERVICE_TIME_BUCKETS",
+    "METRICS_FILENAME",
+    "EXPOSITION_FILENAME",
+]
+
+#: Bumped whenever the JSON snapshot document changes shape; consumers
+#: (CI trend tooling, dashboards) key on it the way trace readers key on
+#: the record SCHEMA_VERSION.
+SNAPSHOT_VERSION = 1
+
+METRICS_FILENAME = "metrics.json"
+EXPOSITION_FILENAME = "metrics.prom"
+
+#: Default bucket upper bounds (seconds) for workflow response times —
+#: spans background-load completions (tens of seconds) through burst
+#: backlogs (tens of minutes).  +Inf is implicit.
+RESPONSE_TIME_BUCKETS: Tuple[float, ...] = (
+    15.0, 30.0, 60.0, 120.0, 240.0, 480.0, 900.0, 1800.0, 3600.0,
+)
+
+#: Container start-up latency buckets (paper: uniform 5-10 s).
+STARTUP_LATENCY_BUCKETS: Tuple[float, ...] = (
+    2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 30.0,
+)
+
+#: Ready-queue depth at publish time.
+QUEUE_DEPTH_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+#: Per-task service time buckets (MSD/LIGO means are seconds to ~1 min).
+SERVICE_TIME_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0,
+)
+
+LabelValue = Tuple[str, ...]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def state(self) -> Dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-observed value plus running extremes and mean."""
+
+    __slots__ = ("value", "min", "max", "total", "observations")
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.total = 0.0
+        self.observations = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.total += value
+        self.observations += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.observations if self.observations else 0.0
+
+    def state(self) -> Dict:
+        return {
+            "value": self.value,
+            "min": self.min if self.observations else 0.0,
+            "max": self.max if self.observations else 0.0,
+            "mean": self.mean,
+            "observations": self.observations,
+        }
+
+
+class Ewma:
+    """Exponentially weighted moving average (training-loss smoothing)."""
+
+    __slots__ = ("alpha", "value", "last", "observations")
+    kind = "ewma"
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value = 0.0
+        self.last = 0.0
+        self.observations = 0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.last = value
+        if self.observations == 0:
+            self.value = value
+        else:
+            self.value = self.alpha * value + (1.0 - self.alpha) * self.value
+        self.observations += 1
+
+    def state(self) -> Dict:
+        return {
+            "value": self.value,
+            "last": self.last,
+            "alpha": self.alpha,
+            "observations": self.observations,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact quantile readout.
+
+    Bucket counts (cumulative, Prometheus-style ``le`` semantics with an
+    implicit +Inf bucket) serve the exposition format; alongside them the
+    histogram keeps a sorted copy of every observation, so
+    :meth:`quantile` is *exact*, not a bucket interpolation.  At
+    simulation scale (at most ~10^5 observations per run) the memory cost
+    is negligible; pass ``track_values=False`` to fall back to
+    bucket-boundary quantile estimates for unbounded streams.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "_values")
+    kind = "histogram"
+
+    def __init__(
+        self, buckets: Sequence[float], track_values: bool = True
+    ):
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"bucket bounds must be sorted: {buckets}")
+        if len(set(buckets)) != len(buckets):
+            raise ValueError(f"bucket bounds must be unique: {buckets}")
+        self.buckets = buckets
+        #: Per-bucket (non-cumulative) counts; the +Inf bucket is last.
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._values: Optional[List[float]] = [] if track_values else None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        if self._values is not None:
+            insort(self._values, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) of everything observed so far.
+
+        Exact (nearest-rank on the retained values) when ``track_values``
+        is on; otherwise the upper bound of the bucket containing the
+        rank (conservative for tail quantiles).  Returns 0.0 before any
+        observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = min(int(q * self.count), self.count - 1)
+        if self._values is not None:
+            return self._values[rank]
+        remaining = rank + 1
+        for i, bucket_count in enumerate(self.counts):
+            remaining -= bucket_count
+            if remaining <= 0:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self.buckets[-1]  # +Inf bucket: clamp to last bound
+        return self.buckets[-1]
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative ``le`` counts, one per bound plus the +Inf bucket."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def state(self) -> Dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+Metric = Union[Counter, Gauge, Ewma, Histogram]
+
+
+class _Family:
+    """One named metric family: a constructor plus labeled children."""
+
+    __slots__ = ("name", "help", "label_names", "factory", "children", "kind")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        factory: Callable[[], Metric],
+    ):
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self.factory = factory
+        self.children: Dict[LabelValue, Metric] = {}
+        self.kind = factory().kind
+
+    def labels(self, *values: str) -> Metric:
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self.children.get(key)
+        if child is None:
+            child = self.factory()
+            self.children[key] = child
+        return child
+
+
+def _valid_metric_name(name: str) -> bool:
+    return bool(name) and all(
+        ch.isalnum() or ch == "_" for ch in name
+    ) and not name[0].isdigit()
+
+
+class MetricsRegistry:
+    """Holds metric families and renders snapshots.
+
+    Family and label names follow Prometheus conventions
+    (``[a-zA-Z_][a-zA-Z0-9_]*``) so the exposition output is valid as-is.
+    """
+
+    def __init__(self):
+        self._families: Dict[str, _Family] = {}
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        factory: Callable[[], Metric],
+    ) -> _Family:
+        if not _valid_metric_name(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _valid_metric_name(label):
+                raise ValueError(f"invalid label name {label!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, help_text, tuple(label_names), factory)
+            self._families[name] = family
+        return family
+
+    # Family constructors --------------------------------------------------
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> _Family:
+        return self._register(name, help_text, labels, Counter)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> _Family:
+        return self._register(name, help_text, labels, Gauge)
+
+    def ewma(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        alpha: float = 0.3,
+    ) -> _Family:
+        return self._register(name, help_text, labels, lambda: Ewma(alpha))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float],
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        track_values: bool = True,
+    ) -> _Family:
+        bounds = tuple(buckets)
+        return self._register(
+            name, help_text, labels,
+            lambda: Histogram(bounds, track_values=track_values),
+        )
+
+    # Export ---------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """The versioned JSON-serialisable snapshot document.
+
+        Families and label sets are emitted in sorted order, so the
+        document — and hence its serialised bytes — is a pure function of
+        the aggregate state, independent of observation order effects on
+        dict insertion.
+        """
+        families: Dict[str, Dict] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series = []
+            for key in sorted(family.children):
+                metric = family.children[key]
+                series.append({
+                    "labels": dict(zip(family.label_names, key)),
+                    **metric.state(),
+                })
+            families[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "series": series,
+            }
+        return {"snapshot_version": SNAPSHOT_VERSION, "families": families}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            prom_type = {
+                "counter": "counter",
+                "gauge": "gauge",
+                "ewma": "gauge",
+                "histogram": "histogram",
+            }[family.kind]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {prom_type}")
+            for key in sorted(family.children):
+                metric = family.children[key]
+                labels = _format_labels(family.label_names, key)
+                if isinstance(metric, Histogram):
+                    cumulative = metric.cumulative_counts()
+                    for bound, count in zip(metric.buckets, cumulative):
+                        le = _format_labels(
+                            family.label_names + ("le",),
+                            key + (_format_value(bound),),
+                        )
+                        lines.append(f"{name}_bucket{le} {count}")
+                    inf = _format_labels(
+                        family.label_names + ("le",), key + ("+Inf",)
+                    )
+                    lines.append(f"{name}_bucket{inf} {metric.count}")
+                    lines.append(
+                        f"{name}_sum{labels} {_format_value(metric.sum)}"
+                    )
+                    lines.append(f"{name}_count{labels} {metric.count}")
+                else:
+                    lines.append(
+                        f"{name}{labels} {_format_value(metric.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_value(value: float) -> str:
+    """Shortest-round-trip float formatting (matches json.dumps output)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+class MetricsAggregator:
+    """Streams trace records into the registry — the metric catalogue.
+
+    One aggregator instance serves both the live path (wrapped in a
+    :class:`MetricsSink`) and the offline path (:func:`aggregate_trace`);
+    the dispatch below is the single definition of how raw records map to
+    aggregates.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        r = self.registry
+        self._records = r.counter(
+            "repro_records_total", "trace records seen by kind", ("kind",)
+        )
+        self._arrivals = r.counter(
+            "repro_arrivals_total", "workflow requests submitted",
+            ("workflow",),
+        )
+        self._completions = r.counter(
+            "repro_completions_total", "workflow requests completed",
+            ("workflow",),
+        )
+        self._response = r.histogram(
+            "repro_response_time_seconds", RESPONSE_TIME_BUCKETS,
+            "workflow response time (submission to completion)",
+            ("workflow",),
+        )
+        self._publishes = r.counter(
+            "repro_publishes_total", "task requests published", ("queue",)
+        )
+        self._redeliveries = r.counter(
+            "repro_redeliveries_total", "nacked requests redelivered",
+            ("queue",),
+        )
+        self._queue_depth = r.histogram(
+            "repro_queue_depth", QUEUE_DEPTH_BUCKETS,
+            "ready-queue depth observed at publish", ("queue",),
+        )
+        self._startup = r.histogram(
+            "repro_startup_latency_seconds", STARTUP_LATENCY_BUCKETS,
+            "container creation-to-first-consume latency", ("service",),
+        )
+        self._service_time = r.histogram(
+            "repro_service_time_seconds", SERVICE_TIME_BUCKETS,
+            "per-task processing time", ("service",),
+        )
+        self._consumer_events = r.counter(
+            "repro_consumer_events_total",
+            "container lifecycle transitions", ("service", "event"),
+        )
+        self._faults = r.counter(
+            "repro_faults_total", "injected faults", ("fault",)
+        )
+        self._node_used = r.gauge(
+            "repro_node_slots_used", "cluster slots in use", ("node",)
+        )
+        self._windows = r.counter(
+            "repro_windows_total", "control windows observed"
+        )
+        self._window_reward = r.gauge(
+            "repro_window_reward", "Eq. (1) reward at the window boundary"
+        )
+        self._wip = r.gauge(
+            "repro_wip", "work-in-progress at the window boundary",
+            ("service",),
+        )
+        self._allocation = r.gauge(
+            "repro_allocation", "consumers allocated at the window boundary",
+            ("service",),
+        )
+        self._busy = r.gauge(
+            "repro_busy_consumers", "busy consumers at the window boundary",
+            ("service",),
+        )
+        self._utilization = r.gauge(
+            "repro_utilization",
+            "busy / allocated at the window boundary", ("service",),
+        )
+        self._queue_ready = r.gauge(
+            "repro_queue_ready", "ready-queue depth at the window boundary",
+            ("service",),
+        )
+        self._sim_time = r.gauge(
+            "repro_sim_time_seconds", "simulation clock at the last record"
+        )
+        self._training_last = r.gauge(
+            "repro_training_metric", "last value per training metric",
+            ("name",),
+        )
+        self._training_ewma = r.ewma(
+            "repro_training_metric_ewma",
+            "EWMA per training metric (loss smoothing)", ("name",),
+        )
+
+    # Dispatch -------------------------------------------------------------
+    def observe(self, record: Mapping) -> None:
+        """Fold one trace record into the aggregates."""
+        kind = record.get("kind")
+        if not isinstance(kind, str):
+            return
+        self._records.labels(kind).inc()
+        t = record.get("t")
+        if t is not None:
+            self._sim_time.labels().set(float(t))
+        handler = self._HANDLERS.get(kind)
+        if handler is not None:
+            handler(self, record)
+
+    def observe_many(self, records: Iterable[Mapping]) -> None:
+        for record in records:
+            self.observe(record)
+
+    def _on_arrival(self, record: Mapping) -> None:
+        self._arrivals.labels(record["workflow"]).inc()
+
+    def _on_workflow_complete(self, record: Mapping) -> None:
+        workflow = record["workflow"]
+        self._completions.labels(workflow).inc()
+        self._response.labels(workflow).observe(record["response_time"])
+
+    def _on_publish(self, record: Mapping) -> None:
+        queue = record["queue"]
+        self._publishes.labels(queue).inc()
+        self._queue_depth.labels(queue).observe(record["depth"])
+
+    def _on_redeliver(self, record: Mapping) -> None:
+        self._redeliveries.labels(record["queue"]).inc()
+
+    def _on_consumer_start(self, record: Mapping) -> None:
+        self._consumer_events.labels(record["service"], "start").inc()
+
+    def _on_consumer_ready(self, record: Mapping) -> None:
+        service = record["service"]
+        self._consumer_events.labels(service, "ready").inc()
+        self._startup.labels(service).observe(record["startup_latency"])
+
+    def _on_consumer_stop(self, record: Mapping) -> None:
+        self._consumer_events.labels(
+            record["service"], f"stop_{record['mode']}"
+        ).inc()
+
+    def _on_task_complete(self, record: Mapping) -> None:
+        self._service_time.labels(record["service"]).observe(
+            record["service_time"]
+        )
+
+    def _on_fault(self, record: Mapping) -> None:
+        self._faults.labels(record["fault"]).inc()
+
+    def _on_placement(self, record: Mapping) -> None:
+        self._node_used.labels(str(record["node"])).set(record["used"])
+
+    def _on_window(self, record: Mapping) -> None:
+        self._windows.labels().inc()
+        self._window_reward.labels().set(record["reward"])
+        allocation = record["allocation"]
+        busy = record["busy"]
+        for service, wip in record["wip"].items():
+            self._wip.labels(service).set(wip)
+        for service, count in allocation.items():
+            self._allocation.labels(service).set(count)
+        for service, count in busy.items():
+            self._busy.labels(service).set(count)
+            allocated = allocation.get(service, 0)
+            if allocated:
+                self._utilization.labels(service).set(count / allocated)
+        for service, depth in record["queue_ready"].items():
+            self._queue_ready.labels(service).set(depth)
+
+    def _on_metric(self, record: Mapping) -> None:
+        name = record["name"]
+        value = record["value"]
+        self._training_last.labels(name).set(value)
+        self._training_ewma.labels(name).update(value)
+
+    _HANDLERS: Dict[str, Callable] = {
+        "event.arrival": _on_arrival,
+        "event.workflow_complete": _on_workflow_complete,
+        "event.publish": _on_publish,
+        "event.redeliver": _on_redeliver,
+        "event.consumer_start": _on_consumer_start,
+        "event.consumer_ready": _on_consumer_ready,
+        "event.consumer_stop": _on_consumer_stop,
+        "event.task_complete": _on_task_complete,
+        "event.fault": _on_fault,
+        "event.placement": _on_placement,
+        "event.release": _on_placement,
+        "span.window": _on_window,
+        "metric": _on_metric,
+    }
+
+    # Export ---------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        return self.registry.snapshot()
+
+    def to_prometheus(self) -> str:
+        return self.registry.to_prometheus()
+
+
+class MetricsSink(Sink):
+    """A sink that aggregates every record, then forwards it downstream.
+
+    This is the live half of the engine: wrap any real sink
+    (``MetricsSink(JsonlSink(path))``) — or nothing at all, for
+    metrics-only runs — and hand the result to a :class:`Tracer`.  The
+    per-window snapshot hook rides on the ``span.window`` record that
+    ``system.run_window()`` emits at every window boundary: deriving the
+    hook from the record stream (rather than a callback on the system)
+    is what keeps offline replay identical to the live path.
+    """
+
+    def __init__(
+        self,
+        downstream: Optional[Sink] = None,
+        aggregator: Optional[MetricsAggregator] = None,
+        snapshot_every: int = 1,
+        window_summary: Optional[Callable[[MetricsAggregator], Dict]] = None,
+    ):
+        if snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        self.downstream = downstream
+        self.aggregator = aggregator or MetricsAggregator()
+        #: Take a per-window snapshot row every N windows (0 disables).
+        self.snapshot_every = snapshot_every
+        self._window_summary = window_summary or window_summary_row
+        #: One compact row per snapshotted window (see
+        #: :func:`window_summary_row`).
+        self.window_snapshots: List[Dict] = []
+        self._windows_seen = 0
+
+    def write(self, record: Dict) -> None:
+        self.aggregator.observe(record)
+        if record.get("kind") == "span.window":
+            self._windows_seen += 1
+            if (
+                self.snapshot_every
+                and self._windows_seen % self.snapshot_every == 0
+            ):
+                row = self._window_summary(self.aggregator)
+                row["window"] = record.get("index")
+                self.window_snapshots.append(row)
+        if self.downstream is not None:
+            self.downstream.write(record)
+
+    def flush(self) -> None:
+        if self.downstream is not None:
+            self.downstream.flush()
+
+    def close(self) -> None:
+        if self.downstream is not None:
+            self.downstream.close()
+
+    def snapshot(self) -> Dict:
+        """Full registry snapshot plus the per-window series."""
+        document = self.aggregator.snapshot()
+        document["window_series"] = list(self.window_snapshots)
+        return document
+
+    def to_prometheus(self) -> str:
+        return self.aggregator.to_prometheus()
+
+
+def window_summary_row(aggregator: MetricsAggregator) -> Dict:
+    """The compact per-window snapshot row (cumulative aggregates).
+
+    Deliberately small — one dict per control window — so long runs stay
+    cheap while still recording a quantile *trajectory* over time rather
+    than only the end-of-run distribution.
+    """
+    registry = aggregator.registry
+    row: Dict = {}
+    response = registry._families["repro_response_time_seconds"]
+    completed = 0
+    p50 = p95 = p99 = 0.0
+    merged: List[float] = []
+    for hist in response.children.values():
+        completed += hist.count
+        if hist._values:
+            merged.extend(hist._values)
+    if merged:
+        merged.sort()
+        p50 = merged[min(int(0.50 * len(merged)), len(merged) - 1)]
+        p95 = merged[min(int(0.95 * len(merged)), len(merged) - 1)]
+        p99 = merged[min(int(0.99 * len(merged)), len(merged) - 1)]
+    row["completions"] = completed
+    row["response_p50"] = p50
+    row["response_p95"] = p95
+    row["response_p99"] = p99
+    wip = registry._families["repro_wip"]
+    row["wip_total"] = sum(g.value for g in wip.children.values())
+    row["reward"] = aggregator._window_reward.labels().value
+    return row
+
+
+def aggregate_trace(records: Iterable[Mapping]) -> MetricsSink:
+    """Replay loaded trace records through a fresh metrics sink.
+
+    Returns the :class:`MetricsSink` (with no downstream) so callers get
+    both the aggregates and the per-window series — identical to what a
+    live run with the same records would have produced.
+    """
+    sink = MetricsSink()
+    for record in records:
+        sink.write(dict(record))
+    return sink
+
+
+def aggregate_run(path: Union[str, Path]) -> MetricsSink:
+    """Aggregate a run directory (or trace file) offline."""
+    from repro.telemetry.report import load_trace
+
+    return aggregate_trace(load_trace(path))
+
+
+def render_metrics(snapshot: Mapping) -> str:
+    """Human-readable rendering of a snapshot document.
+
+    One line per labeled series: counters and EWMAs show the value,
+    gauges add min/mean/max, histograms show count, mean and the three
+    pinned quantiles.  This is what ``repro metrics`` prints by default.
+    """
+    lines: List[str] = []
+    for name, family in snapshot.get("families", {}).items():
+        kind = family["kind"]
+        header = f"{name} ({kind})"
+        if family.get("help"):
+            header += f" — {family['help']}"
+        lines.append(header)
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            label_text = (
+                "{" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+                if labels else "(no labels)"
+            )
+            if kind == "histogram":
+                body = (
+                    f"count={series['count']} mean={series['mean']:.3f} "
+                    f"p50={series['p50']:.3f} p95={series['p95']:.3f} "
+                    f"p99={series['p99']:.3f}"
+                )
+            elif kind == "gauge":
+                body = (
+                    f"value={series['value']:.6g} min={series['min']:.6g} "
+                    f"mean={series['mean']:.6g} max={series['max']:.6g} "
+                    f"n={series['observations']}"
+                )
+            elif kind == "ewma":
+                body = (
+                    f"ewma={series['value']:.6g} last={series['last']:.6g} "
+                    f"n={series['observations']}"
+                )
+            else:
+                body = f"value={series['value']:.6g}"
+            lines.append(f"  {label_text:<40} {body}")
+        lines.append("")
+    if not lines:
+        return "(no metric families)"
+    return "\n".join(lines).rstrip("\n")
+
+
+def snapshot_to_json(snapshot: Mapping) -> str:
+    """Canonical JSON serialisation of a snapshot document.
+
+    Sorted keys and compact separators: two equal snapshots serialise to
+    identical bytes, which is what the determinism tests compare.
+    """
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_metrics(
+    outdir: Union[str, Path],
+    sink: MetricsSink,
+    prometheus: bool = True,
+) -> Path:
+    """Write ``metrics.json`` (and ``metrics.prom``) into a run directory."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    target = outdir / METRICS_FILENAME
+    target.write_text(snapshot_to_json(sink.snapshot()), encoding="utf-8")
+    if prometheus:
+        (outdir / EXPOSITION_FILENAME).write_text(
+            sink.to_prometheus(), encoding="utf-8"
+        )
+    return target

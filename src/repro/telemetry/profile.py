@@ -1,0 +1,301 @@
+"""Hierarchical phase profiler: where did the wall/CPU time go?
+
+A :class:`PhaseProfiler` attributes real (wall and CPU) time to a tree
+of named *phases* — event-loop dispatch, model-fit epochs, DDPG update
+steps, replay sampling, Lend–Giveback refinement — via a context
+manager (``with profiler.phase("model/fit"):``) or a decorator
+(``@profiler.profiled("ddpg/update")``).  Each tree node records call
+counts, cumulative time, and self time (cumulative minus children).
+
+**Determinism boundary.**  Profiling is *measurement of the machine*,
+not of the simulation: its clock reads are real, so profiler output is
+explicitly excluded from the trace-determinism contract, exactly like
+``wall_time`` in the run manifest.  The two clock reads below are the
+sanctioned wall-clock sites (reprolint D102 suppressed); nothing from
+this module may ever be written into a trace record.  The determinism
+tests pin the other direction too: enabling a profiler does not change
+trace bytes.
+
+**Zero cost when off.**  Instrumented hot paths guard with
+``if profiler.enabled:`` against the shared :data:`NULL_PROFILER`
+singleton — the disabled cost is one attribute read and a branch, the
+same budget discipline as :data:`~repro.telemetry.tracer.NULL_TRACER`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "PROFILE_VERSION",
+    "PROFILE_FILENAME",
+    "PhaseNode",
+    "PhaseProfiler",
+    "NULL_PROFILER",
+    "render_profile",
+    "write_profile",
+    "read_profile",
+]
+
+#: Bumped whenever the profile.json document changes shape.
+PROFILE_VERSION = 1
+
+PROFILE_FILENAME = "profile.json"
+
+
+def _wall_clock() -> float:
+    """Sanctioned wall-clock read for profiling (not simulation data)."""
+    return time.perf_counter()  # reprolint: disable=D102
+
+
+def _cpu_clock() -> float:
+    """Sanctioned CPU-clock read for profiling (not simulation data)."""
+    return time.process_time()  # reprolint: disable=D102
+
+
+class PhaseNode:
+    """One node of the phase tree."""
+
+    __slots__ = ("name", "calls", "wall", "cpu", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.children: Dict[str, "PhaseNode"] = {}
+
+    def child(self, name: str) -> "PhaseNode":
+        node = self.children.get(name)
+        if node is None:
+            node = PhaseNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def self_wall(self) -> float:
+        """Wall time spent in this phase excluding child phases."""
+        return self.wall - sum(c.wall for c in self.children.values())
+
+    @property
+    def self_cpu(self) -> float:
+        return self.cpu - sum(c.cpu for c in self.children.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "self_wall": self.self_wall,
+            "self_cpu": self.self_cpu,
+            "children": [
+                self.children[name].to_dict()
+                for name in sorted(self.children)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PhaseNode":
+        node = cls(data["name"])
+        node.calls = int(data["calls"])
+        node.wall = float(data["wall"])
+        node.cpu = float(data["cpu"])
+        for child in data.get("children", ()):
+            node.children[child["name"]] = cls.from_dict(child)
+        return node
+
+
+class _Phase:
+    """Reusable context manager for one profiler (not re-entrant-safe
+    across threads; the simulator is single-threaded by design)."""
+
+    __slots__ = ("profiler", "name", "_wall0", "_cpu0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self.profiler = profiler
+        self.name = name
+
+    def __enter__(self) -> "_Phase":
+        self.profiler._push(self.name)
+        self._wall0 = _wall_clock()
+        self._cpu0 = _cpu_clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        wall = _wall_clock() - self._wall0
+        cpu = _cpu_clock() - self._cpu0
+        self.profiler._pop(wall, cpu)
+
+
+class _NoopPhase:
+    """Shared do-nothing context manager for the disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_PHASE = _NoopPhase()
+
+
+class PhaseProfiler:
+    """Collects a self-time/cumulative phase tree.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` builds a disabled profiler whose :meth:`phase` returns
+        a shared no-op context manager.  Instrumented code should still
+        guard with ``if profiler.enabled:`` to skip even that call on
+        hot paths.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.root = PhaseNode("total")
+        self._stack: List[PhaseNode] = [self.root]
+
+    # Recording ------------------------------------------------------------
+    def phase(self, name: str):
+        """Context manager timing one phase nested under the current one."""
+        if not self.enabled:
+            return _NOOP_PHASE
+        return _Phase(self, name)
+
+    def profiled(self, name: str) -> Callable:
+        """Decorator form of :meth:`phase`."""
+
+        def decorate(func: Callable) -> Callable:
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return func(*args, **kwargs)
+                with _Phase(self, name):
+                    return func(*args, **kwargs)
+
+            wrapper.__name__ = getattr(func, "__name__", name)
+            wrapper.__doc__ = func.__doc__
+            wrapper.__wrapped__ = func
+            return wrapper
+
+        return decorate
+
+    def _push(self, name: str) -> None:
+        node = self._stack[-1].child(name)
+        node.calls += 1
+        self._stack.append(node)
+
+    def _pop(self, wall: float, cpu: float) -> None:
+        node = self._stack.pop()
+        node.wall += wall
+        node.cpu += cpu
+
+    # Reading --------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any phase)."""
+        return len(self._stack) - 1
+
+    def node(self, *path: str) -> Optional[PhaseNode]:
+        """Look up a node by phase path; None when never entered."""
+        node = self.root
+        for name in path:
+            node = node.children.get(name)
+            if node is None:
+                return None
+        return node
+
+    def total_wall(self) -> float:
+        return sum(c.wall for c in self.root.children.values())
+
+    def to_dict(self) -> Dict:
+        """The profile.json document."""
+        return {
+            "profile_version": PROFILE_VERSION,
+            "tree": self.root.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhaseProfiler(enabled={self.enabled}, "
+            f"phases={len(self.root.children)})"
+        )
+
+
+#: Shared disabled profiler used as the default by every instrumented
+#: component.  Never record into it.
+NULL_PROFILER = PhaseProfiler(enabled=False)
+
+
+def render_profile(
+    source: Union[PhaseProfiler, PhaseNode, Dict],
+    max_depth: Optional[int] = None,
+) -> str:
+    """Render the phase tree as an indented text report.
+
+    Accepts a profiler, a tree root, or a loaded profile.json document.
+    """
+    if isinstance(source, PhaseProfiler):
+        root = source.root
+    elif isinstance(source, PhaseNode):
+        root = source
+    else:
+        root = PhaseNode.from_dict(source["tree"])
+    lines = [
+        f"{'phase':<40} {'calls':>8} {'wall (s)':>10} "
+        f"{'self (s)':>10} {'cpu (s)':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+
+    def visit(node: PhaseNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        label = ("  " * depth) + node.name
+        lines.append(
+            f"{label:<40} {node.calls:>8} {node.wall:>10.4f} "
+            f"{node.self_wall:>10.4f} {node.cpu:>10.4f}"
+        )
+        for name in sorted(node.children):
+            visit(node.children[name], depth + 1)
+
+    for name in sorted(root.children):
+        visit(root.children[name], 0)
+    if len(lines) == 2:
+        lines.append("(no phases recorded)")
+    return "\n".join(lines)
+
+
+def write_profile(
+    outdir: Union[str, Path], profiler: PhaseProfiler
+) -> Path:
+    """Write ``profile.json`` into a run directory; returns the path.
+
+    The artifact is *outside* the determinism contract — its timings are
+    wall-clock measurements and differ between reruns.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    target = outdir / PROFILE_FILENAME
+    target.write_text(
+        json.dumps(profiler.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def read_profile(path: Union[str, Path]) -> Dict:
+    """Load a profile.json document from a file or run directory."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / PROFILE_FILENAME
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if "tree" not in document:
+        raise ValueError(f"{path} is not a profile document")
+    return document

@@ -29,7 +29,8 @@ __all__ = [
 
 #: Bumped whenever a record schema changes shape; written to the manifest
 #: so downstream tooling can refuse traces it does not understand.
-SCHEMA_VERSION = 1
+#: v2: added ``event.task_complete`` (per-task service time).
+SCHEMA_VERSION = 2
 
 #: Fields present on every record regardless of kind.
 ENVELOPE_FIELDS: FrozenSet[str] = frozenset({"kind", "t"})
@@ -63,6 +64,10 @@ RECORD_SCHEMAS: Dict[str, FrozenSet[str]] = {
         "service", "consumer_id", "startup_latency",
     }),
     "event.consumer_stop": frozenset({"service", "consumer_id", "mode"}),
+    # A task finishing on a consumer; ``service_time`` is the processing
+    # time of this attempt (wasted work from killed attempts excluded).
+    # Feeds the per-service service-time histograms of the metrics engine.
+    "event.task_complete": frozenset({"service", "service_time"}),
     # Cluster slot accounting (Kubernetes scheduler analog).
     "event.placement": frozenset({"node", "used"}),
     "event.release": frozenset({"node", "used"}),

@@ -28,6 +28,7 @@ __all__ = [
     "queue_summary",
     "consumer_summary",
     "training_curves",
+    "report_json",
     "render_report",
 ]
 
@@ -183,6 +184,30 @@ def training_curves(records: Sequence[Dict]) -> Dict[str, Dict[int, float]]:
             record["value"]
         )
     return curves
+
+
+def report_json(records: Sequence[Dict]) -> Dict:
+    """Machine-readable form of the report (``repro report --json``).
+
+    The same four summaries :func:`render_report` prints as tables, plus
+    the record/window totals, as one JSON-serialisable document.  Metric
+    steps become string keys (JSON objects cannot have int keys) but keep
+    their numeric order when sorted by ``int(step)``.
+    """
+    windows = _windows(records)
+    curves = training_curves(records)
+    return {
+        "records": len(records),
+        "windows": len(windows),
+        "sim_time_end": float(windows[-1]["end"]) if windows else None,
+        "utilization": utilization_summary(records),
+        "queues": queue_summary(records),
+        "consumers": consumer_summary(records),
+        "training_curves": {
+            name: {str(step): series[step] for step in sorted(series)}
+            for name, series in curves.items()
+        },
+    }
 
 
 def render_report(

@@ -17,7 +17,12 @@ __all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink"]
 
 
 class Sink:
-    """Interface for trace-record consumers."""
+    """Interface for trace-record consumers.
+
+    Every sink is a context manager: ``with JsonlSink(path) as sink:``
+    flushes and closes on exit — including exceptional exit, so a
+    crashed run never loses buffered trace lines.
+    """
 
     def write(self, record: Dict) -> None:
         """Consume one record (a flat JSON-serialisable dict)."""
@@ -28,6 +33,12 @@ class Sink:
 
     def close(self) -> None:
         """Release resources; further writes are an error (default: no-op)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class NullSink(Sink):
@@ -83,9 +94,3 @@ class JsonlSink(Sink):
         if self._file is not None:
             self._file.close()
             self._file = None
-
-    def __enter__(self) -> "JsonlSink":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

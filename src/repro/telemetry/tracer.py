@@ -98,7 +98,19 @@ class Tracer:
 
     def close(self) -> None:
         """Flush and close the sink."""
+        self.sink.flush()
         self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Flush-and-close on scope exit, including exceptional exit.
+
+        Guarantees a crashed run keeps every record buffered in a
+        :class:`~repro.telemetry.sinks.JsonlSink` up to the failure point.
+        """
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

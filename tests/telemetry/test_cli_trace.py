@@ -7,6 +7,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.telemetry import load_trace, read_manifest
+from repro.telemetry.records import SCHEMA_VERSION
 
 
 class TestParser:
@@ -65,7 +66,7 @@ class TestTraceReportRoundTrip:
         assert "Queue depth" in out
         assert "Container lifecycle" in out
         assert "seed 1000" in out
-        assert "schema v1" in out
+        assert f"schema v{SCHEMA_VERSION}" in out
 
     def test_report_accepts_explicit_file_path(self, run_dir, capsys):
         code = main(["report", str(run_dir / "trace.jsonl")])

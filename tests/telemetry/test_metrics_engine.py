@@ -1,0 +1,332 @@
+"""Metrics engine tests: primitives, aggregation, and the live==replay
+determinism contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import make_env
+from repro.sim.system import SystemConfig
+from repro.telemetry import (
+    MemorySink,
+    MetricsAggregator,
+    MetricsRegistry,
+    MetricsSink,
+    Tracer,
+    aggregate_run,
+    aggregate_trace,
+    render_metrics,
+    snapshot_to_json,
+    write_metrics,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Ewma,
+    Gauge,
+    Histogram,
+    RESPONSE_TIME_BUCKETS,
+    SNAPSHOT_VERSION,
+)
+from repro.workflows import build_msd_ensemble
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_tracks_extremes_and_mean(self):
+        g = Gauge()
+        for v in (3.0, 1.0, 5.0):
+            g.set(v)
+        state = g.state()
+        assert state["value"] == 5.0
+        assert state["min"] == 1.0
+        assert state["max"] == 5.0
+        assert state["mean"] == pytest.approx(3.0)
+        assert state["observations"] == 3
+
+    def test_unobserved_state_is_all_zero(self):
+        state = Gauge().state()
+        assert state == {
+            "value": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "observations": 0,
+        }
+
+
+class TestEwma:
+    def test_first_observation_seeds_the_average(self):
+        e = Ewma(alpha=0.5)
+        e.update(10.0)
+        assert e.value == 10.0
+
+    def test_smoothing(self):
+        e = Ewma(alpha=0.5)
+        e.update(10.0)
+        e.update(0.0)
+        assert e.value == pytest.approx(5.0)
+        assert e.last == 0.0
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+
+class TestHistogram:
+    def test_bucket_counts_and_cumulative(self):
+        h = Histogram((1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1, 1]
+        assert h.cumulative_counts() == [1, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.7)
+
+    def test_exact_quantiles(self):
+        h = Histogram((10.0, 100.0))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.50) == 51.0  # nearest-rank on exact values
+        assert h.quantile(0.95) == 96.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_bucket_bound_quantiles_without_tracked_values(self):
+        h = Histogram((10.0, 100.0), track_values=False)
+        for v in range(1, 101):
+            h.observe(float(v))
+        # Conservative: the upper bound of the containing bucket.
+        assert h.quantile(0.05) == 10.0
+        assert h.quantile(0.95) == 100.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram((1.0,)).quantile(0.99) == 0.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).quantile(1.5)
+
+
+class TestRegistry:
+    def test_labels_create_children_lazily(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "help", ("service",))
+        family.labels("a").inc()
+        family.labels("a").inc()
+        family.labels("b").inc()
+        assert family.labels("a").value == 2.0
+        assert family.labels("b").value == 1.0
+
+    def test_label_arity_enforced(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("y", labels=("a", "b"))
+        with pytest.raises(ValueError, match="expected labels"):
+            family.labels("only-one")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("1bad")
+        with pytest.raises(ValueError):
+            registry.counter("has-dash")
+        with pytest.raises(ValueError):
+            registry.counter("ok", labels=("bad label",))
+
+    def test_snapshot_is_sorted_and_versioned(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total").labels().inc()
+        registry.counter("a_total").labels().inc()
+        snapshot = registry.snapshot()
+        assert snapshot["snapshot_version"] == SNAPSHOT_VERSION
+        assert list(snapshot["families"]) == ["a_total", "z_total"]
+
+    def test_prometheus_exposition_shape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "rt_seconds", (1.0, 2.0), help_text="resp", labels=("wf",)
+        )
+        hist.labels("Type1").observe(0.5)
+        hist.labels("Type1").observe(5.0)
+        text = registry.to_prometheus()
+        assert "# HELP rt_seconds resp" in text
+        assert "# TYPE rt_seconds histogram" in text
+        assert 'rt_seconds_bucket{wf="Type1",le="1"} 1' in text
+        assert 'rt_seconds_bucket{wf="Type1",le="+Inf"} 2' in text
+        assert 'rt_seconds_sum{wf="Type1"} 5.5' in text
+        assert 'rt_seconds_count{wf="Type1"} 2' in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("name",)).labels('a"b').inc()
+        assert 'name="a\\"b"' in registry.to_prometheus()
+
+
+class TestAggregator:
+    def test_every_registered_kind_has_a_handler_or_is_counted(self):
+        from repro.telemetry.records import RECORD_SCHEMAS
+
+        handled = set(MetricsAggregator._HANDLERS)
+        assert handled <= set(RECORD_SCHEMAS)
+        # Every kind the simulator emits today is dispatched.
+        assert handled == set(RECORD_SCHEMAS)
+
+    def test_unknown_kind_is_ignored(self):
+        agg = MetricsAggregator()
+        agg.observe({"kind": "event.not_registered", "t": 1.0})
+        families = agg.snapshot()["families"]
+        series = families["repro_records_total"]["series"]
+        assert series[0]["labels"] == {"kind": "event.not_registered"}
+
+    def test_window_record_populates_gauges(self):
+        agg = MetricsAggregator()
+        agg.observe({
+            "kind": "span.window", "t": 30.0, "index": 0, "start": 0.0,
+            "end": 30.0, "reward": -7.5,
+            "wip": {"Ingest": 4.0}, "allocation": {"Ingest": 4},
+            "busy": {"Ingest": 2}, "starting": {"Ingest": 0},
+            "queue_ready": {"Ingest": 1}, "arrivals": 3, "completions": 1,
+        })
+        families = agg.snapshot()["families"]
+        util = families["repro_utilization"]["series"][0]
+        assert util["labels"] == {"service": "Ingest"}
+        assert util["value"] == pytest.approx(0.5)
+        assert families["repro_window_reward"]["series"][0]["value"] == -7.5
+        assert families["repro_sim_time_seconds"]["series"][0]["value"] == 30.0
+
+    def test_training_metric_updates_last_and_ewma(self):
+        agg = MetricsAggregator()
+        for value in (4.0, 2.0):
+            agg.observe({
+                "kind": "metric", "t": None, "name": "model/epoch_loss",
+                "value": value, "step": 1,
+            })
+        families = agg.snapshot()["families"]
+        last = families["repro_training_metric"]["series"][0]
+        ewma = families["repro_training_metric_ewma"]["series"][0]
+        assert last["value"] == 2.0
+        assert ewma["value"] == pytest.approx(0.3 * 2.0 + 0.7 * 4.0)
+
+
+def _traced_run(profiler=None, windows=4, seed=11):
+    """A short traced MSD run; returns (memory_sink, metrics_sink)."""
+    memory = MemorySink()
+    sink = MetricsSink(downstream=memory)
+    env = make_env(
+        build_msd_ensemble(),
+        config=SystemConfig(consumer_budget=14),
+        seed=seed,
+        background_rates={"Type1": 0.5, "Type2": 0.3, "Type3": 0.2},
+        tracer=Tracer(sink),
+        profiler=profiler,
+    )
+    env.reset()
+    env.system.inject_burst({"Type1": 40, "Type2": 20, "Type3": 20})
+    for _ in range(windows):
+        env.step(np.array([4, 4, 3, 3]))
+    return memory, sink
+
+
+class TestDeterminismContract:
+    """The acceptance criteria of the metrics engine."""
+
+    def test_live_equals_replay_byte_identical(self):
+        memory, sink = _traced_run()
+        live = snapshot_to_json(sink.snapshot())
+        replayed = snapshot_to_json(aggregate_trace(memory.records).snapshot())
+        assert live == replayed
+
+    def test_same_seed_runs_are_byte_identical(self):
+        _, first = _traced_run()
+        _, second = _traced_run()
+        assert snapshot_to_json(first.snapshot()) == snapshot_to_json(
+            second.snapshot()
+        )
+        assert first.to_prometheus() == second.to_prometheus()
+
+    def test_different_seed_runs_differ(self):
+        _, first = _traced_run(seed=11)
+        _, second = _traced_run(seed=12)
+        assert snapshot_to_json(first.snapshot()) != snapshot_to_json(
+            second.snapshot()
+        )
+
+    def test_window_series_recorded_per_window(self):
+        memory, sink = _traced_run(windows=4)
+        spans = sum(
+            1 for r in memory.records if r["kind"] == "span.window"
+        )
+        assert spans > 0
+        assert len(sink.window_snapshots) == spans
+        assert [row["window"] for row in sink.window_snapshots] == list(
+            range(spans)
+        )
+        for row in sink.window_snapshots:
+            assert set(row) >= {
+                "completions", "response_p50", "response_p95",
+                "response_p99", "wip_total", "reward", "window",
+            }
+
+    def test_snapshot_every_zero_disables_window_series(self):
+        memory, _ = _traced_run()
+        sink = MetricsSink(snapshot_every=0)
+        for record in memory.records:
+            sink.write(record)
+        assert sink.window_snapshots == []
+        with pytest.raises(ValueError):
+            MetricsSink(snapshot_every=-1)
+
+
+class TestFileOutput:
+    def test_write_metrics_round_trip(self, tmp_path):
+        memory, sink = _traced_run()
+        target = write_metrics(tmp_path, sink)
+        assert target == tmp_path / "metrics.json"
+        document = json.loads(target.read_text())
+        assert document["snapshot_version"] == SNAPSHOT_VERSION
+        assert document["window_series"]
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "repro_windows_total" in prom
+
+    def test_aggregate_run_reads_a_trace_directory(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        memory, sink = _traced_run()
+        with JsonlSink(tmp_path / "trace.jsonl") as jsonl:
+            for record in memory.records:
+                jsonl.write(record)
+        replayed = aggregate_run(tmp_path)
+        assert snapshot_to_json(replayed.snapshot()) == snapshot_to_json(
+            sink.snapshot()
+        )
+
+
+class TestRenderMetrics:
+    def test_renders_each_kind(self):
+        _, sink = _traced_run()
+        text = render_metrics(sink.snapshot())
+        assert "repro_windows_total (counter)" in text
+        assert "repro_wip (gauge)" in text
+        assert "repro_response_time_seconds (histogram)" in text
+
+    def test_empty_snapshot(self):
+        assert render_metrics({"families": {}}) == "(no metric families)"

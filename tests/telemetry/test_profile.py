@@ -1,0 +1,207 @@
+"""Phase profiler tests: tree shape, self-times, the disabled no-op
+path, persistence, and the determinism boundary (profiling must never
+change the trace)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_PROFILER,
+    PROFILE_VERSION,
+    PhaseProfiler,
+    read_profile,
+    render_profile,
+    write_profile,
+)
+from repro.telemetry.profile import PROFILE_FILENAME, PhaseNode, _NOOP_PHASE
+
+
+class TestPhaseTree:
+    def test_nested_phases_build_a_tree(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                pass
+            with profiler.phase("inner"):
+                pass
+        outer = profiler.node("outer")
+        inner = profiler.node("outer", "inner")
+        assert outer.calls == 1
+        assert inner.calls == 2
+        assert outer.wall >= inner.wall >= 0.0
+
+    def test_self_time_excludes_children(self):
+        node = PhaseNode("parent")
+        node.calls, node.wall, node.cpu = 1, 10.0, 8.0
+        child = PhaseNode("child")
+        child.calls, child.wall, child.cpu = 1, 4.0, 3.0
+        node.children["child"] = child
+        assert node.self_wall == pytest.approx(6.0)
+        assert node.self_cpu == pytest.approx(5.0)
+
+    def test_sibling_phases_are_roots(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        with profiler.phase("b"):
+            pass
+        tree = profiler.to_dict()["tree"]
+        assert tree["name"] == "total"
+        assert [node["name"] for node in tree["children"]] == ["a", "b"]
+
+    def test_phase_pops_on_exception(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("risky"):
+                raise RuntimeError("boom")
+        assert profiler.depth == 0
+        # Timings were still recorded for the failed phase.
+        assert profiler.node("risky").calls == 1
+        # And the stack is usable afterwards.
+        with profiler.phase("next"):
+            pass
+        assert profiler.node("next").calls == 1
+
+    def test_missing_node_lookup(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        assert profiler.node("a", "nope") is None
+        assert profiler.node("nope") is None
+
+    def test_total_wall_sums_roots(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        with profiler.phase("b"):
+            pass
+        expected = profiler.node("a").wall + profiler.node("b").wall
+        assert profiler.total_wall() == pytest.approx(expected)
+
+
+class TestDecorator:
+    def test_profiled_wraps_and_records(self):
+        profiler = PhaseProfiler()
+
+        @profiler.profiled("work")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert work(1) == 2
+        assert profiler.node("work").calls == 2
+
+    def test_disabled_decorator_is_transparent(self):
+        @NULL_PROFILER.profiled("work")
+        def work():
+            return "ok"
+
+        assert work() == "ok"
+        assert NULL_PROFILER.to_dict()["tree"]["children"] == []
+
+
+class TestDisabledPath:
+    def test_null_profiler_is_disabled(self):
+        assert NULL_PROFILER.enabled is False
+        assert PhaseProfiler().enabled is True
+
+    def test_disabled_phase_is_the_shared_noop(self):
+        profiler = PhaseProfiler(enabled=False)
+        assert profiler.phase("anything") is _NOOP_PHASE
+        assert profiler.phase("other") is _NOOP_PHASE
+        with profiler.phase("anything"):
+            pass
+        assert profiler.to_dict()["tree"]["children"] == []
+        assert profiler.depth == 0
+
+
+class TestPersistence:
+    def _populated(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("agent/collect"):
+            with profiler.phase("sim/dispatch"):
+                pass
+        return profiler
+
+    def test_write_read_round_trip(self, tmp_path):
+        profiler = self._populated()
+        target = write_profile(tmp_path, profiler)
+        assert target == tmp_path / PROFILE_FILENAME
+        document = json.loads(target.read_text())
+        assert document["profile_version"] == PROFILE_VERSION
+
+        loaded = read_profile(tmp_path)  # accepts the directory...
+        root = PhaseNode.from_dict(loaded["tree"])
+        assert list(root.children) == ["agent/collect"]
+        loaded = read_profile(target)  # ...and the file itself
+        root = PhaseNode.from_dict(loaded["tree"])
+        inner = root.children["agent/collect"].children["sim/dispatch"]
+        assert inner.calls == 1
+
+    def test_read_profile_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not-a-profile.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="not a profile document"):
+            read_profile(path)
+
+    def test_node_dict_round_trip(self):
+        original = self._populated().node("agent/collect")
+        restored = PhaseNode.from_dict(original.to_dict())
+        assert restored.name == original.name
+        assert restored.calls == original.calls
+        assert restored.wall == pytest.approx(original.wall)
+        assert set(restored.children) == set(original.children)
+
+
+class TestRender:
+    def test_render_accepts_profiler_and_nodes(self, tmp_path):
+        profiler = PhaseProfiler()
+        with profiler.phase("agent/train_model"):
+            with profiler.phase("model/fit"):
+                pass
+        text = render_profile(profiler)
+        assert "agent/train_model" in text
+        assert "model/fit" in text
+        assert "calls" in text and "wall" in text
+
+        write_profile(tmp_path, profiler)
+        assert "model/fit" in render_profile(read_profile(tmp_path))
+
+    def test_max_depth_truncates(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("top"):
+            with profiler.phase("deep"):
+                pass
+        shallow = render_profile(profiler, max_depth=0)
+        assert "top" in shallow
+        assert "deep" not in shallow
+
+    def test_empty_profile(self):
+        assert "(no phases recorded)" in render_profile(PhaseProfiler())
+
+
+class TestDeterminismBoundary:
+    """Enabling the profiler must not perturb the trace in any way."""
+
+    def test_trace_records_identical_with_and_without_profiler(self):
+        from test_metrics_engine import _traced_run
+
+        plain_memory, plain_sink = _traced_run(profiler=None)
+        prof_memory, prof_sink = _traced_run(profiler=PhaseProfiler())
+
+        assert plain_memory.records == prof_memory.records
+        from repro.telemetry import snapshot_to_json
+
+        assert snapshot_to_json(plain_sink.snapshot()) == snapshot_to_json(
+            prof_sink.snapshot()
+        )
+
+    def test_simulation_phases_are_recorded(self):
+        from test_metrics_engine import _traced_run
+
+        profiler = PhaseProfiler()
+        _traced_run(profiler=profiler)
+        dispatch = profiler.node("sim/dispatch")
+        assert dispatch is not None
+        assert dispatch.calls > 0

@@ -33,6 +33,7 @@ EXAMPLES = {
     "event.consumer_stop": {
         "service": "Ingest", "consumer_id": 2, "mode": "drain",
     },
+    "event.task_complete": {"service": "Ingest", "service_time": 9.5},
     "event.placement": {"node": 1, "used": 3},
     "event.release": {"node": 1, "used": 2},
     "event.fault": {"fault": "consumer_crash", "target": "Ingest"},
