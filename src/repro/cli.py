@@ -6,6 +6,7 @@
     python -m repro evaluate --agent runs/msd-agent --dataset msd --burst 0
     python -m repro simulate --dataset msd --allocator heft --burst 0
     python -m repro model-accuracy --dataset ligo
+    python -m repro experiments --experiments fig5,fig6 --workers 4
     python -m repro trace --dataset msd --output runs/trace-msd
     python -m repro report runs/trace-msd
     python -m repro metrics runs/trace-msd --format prom
@@ -14,7 +15,9 @@
 
 ``train`` runs Algorithm 2; ``evaluate`` deploys a saved agent on a paper
 burst scenario; ``simulate`` runs a heuristic allocator (no learning);
-``model-accuracy`` reproduces the Fig. 5 protocol; ``trace`` reruns a
+``model-accuracy`` reproduces the Fig. 5 protocol; ``experiments`` maps
+figure/ablation cells over worker processes with label-derived per-cell
+seeds (results are byte-identical for any ``--workers``); ``trace`` reruns a
 simulation or training run with telemetry on, writing a JSONL trace, a
 run manifest, and aggregated metrics; ``report`` summarizes such a trace
 into utilization, queue-depth, container-lifecycle, and training-curve
@@ -47,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--iterations", type=int, default=None,
                        help="override the preset's iteration count")
+    train.add_argument(
+        "--rollout-batch", type=int, default=None,
+        help="synthetic rollouts advanced together per pass (K in the "
+             "vectorised rollout engine; 1 = the serial schedule)",
+    )
     train.add_argument("--output", default=None,
                        help="directory to save the trained agent to")
 
@@ -81,6 +89,28 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--collect-steps", type=int, default=1200)
     accuracy.add_argument("--test-steps", type=int, default=100)
     accuracy.add_argument("--seed", type=int, default=0)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="run figure/ablation experiment cells (optionally in parallel)",
+    )
+    experiments.add_argument(
+        "--experiments", default="fig5",
+        help="comma-separated experiment names (see repro.eval.parallel); "
+             "e.g. fig5,fig6,fig7,fig8,ablate-refinement",
+    )
+    experiments.add_argument("--replicates", type=int, default=1,
+                             help="cells per experiment")
+    experiments.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; results are byte-identical for any count",
+    )
+    experiments.add_argument("--seed", type=int, default=0,
+                             help="root seed (per-cell seeds derive from it)")
+    experiments.add_argument("--quick", action="store_true",
+                             help="reduced schedules (CI/smoke scale)")
+    experiments.add_argument("--output", default=None,
+                             help="write the results JSON to this file")
 
     trace = sub.add_parser(
         "trace", help="run a traced simulation/training run (JSONL + manifest)"
@@ -169,6 +199,8 @@ def _add_trace_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_train(args) -> int:
+    from dataclasses import replace
+
     from repro.core.agent import MirasAgent
     from repro.core.persistence import save_agent
     from repro.eval.experiments import dataset_preset, make_env
@@ -179,6 +211,11 @@ def _cmd_train(args) -> int:
         preset["paper_config"]() if args.scale == "paper"
         else preset["fast_config"]()
     )
+    if args.rollout_batch is not None:
+        config = replace(
+            config,
+            policy=replace(config.policy, rollout_batch=args.rollout_batch),
+        )
     env = make_env(
         preset["builder"](),
         config=SystemConfig(consumer_budget=preset["budget"]),
@@ -282,6 +319,29 @@ def _cmd_model_accuracy(args) -> int:
         ],
         title=f"Model accuracy ({args.dataset}), Fig. 5 protocol",
     ))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.eval.parallel import (
+        default_cells,
+        results_to_json,
+        run_cells,
+        write_results,
+    )
+
+    names = [n.strip() for n in args.experiments.split(",") if n.strip()]
+    cells = default_cells(
+        experiments=names, replicates=args.replicates, quick=args.quick
+    )
+    results = run_cells(cells, root_seed=args.seed, workers=args.workers)
+    for label, payload in results.items():
+        print(f"{label}: done (seed {payload['seed']})", file=sys.stderr)
+    if args.output:
+        path = write_results(args.output, results)
+        print(f"results written to {path}", file=sys.stderr)
+    else:
+        print(results_to_json(results), end="")
     return 0
 
 
@@ -494,6 +554,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "simulate": _cmd_simulate,
     "model-accuracy": _cmd_model_accuracy,
+    "experiments": _cmd_experiments,
     "trace": _cmd_trace,
     "report": _cmd_report,
     "metrics": _cmd_metrics,

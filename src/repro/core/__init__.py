@@ -20,10 +20,14 @@ from repro.core.agent import IterationResult, MirasAgent
 from repro.core.config import MirasConfig, ModelConfig, PolicyConfig
 from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
-from repro.core.model_env import ModelEnv
+from repro.core.model_env import BatchedModelEnv, ModelEnv
 from repro.core.persistence import load_agent, save_agent
 from repro.core.refinement import RefinedModel
-from repro.core.reward import reward_eq1, cumulative_discounted_reward
+from repro.core.reward import (
+    reward_eq1,
+    reward_eq1_batch,
+    cumulative_discounted_reward,
+)
 
 __all__ = [
     "MirasAgent",
@@ -37,6 +41,8 @@ __all__ = [
     "save_agent",
     "load_agent",
     "ModelEnv",
+    "BatchedModelEnv",
     "reward_eq1",
+    "reward_eq1_batch",
     "cumulative_discounted_reward",
 ]

@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.config import MirasConfig
 from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
-from repro.core.model_env import ModelEnv
+from repro.core.model_env import BatchedModelEnv, ModelEnv
 from repro.core.refinement import RefinedModel
 from repro.rl.ddpg import DDPGAgent
 from repro.sim.env import MicroserviceEnv
@@ -117,26 +117,47 @@ class MirasAgent:
         state = self.env.reset()
         state = self._maybe_inject_burst(state, rng)
         added = 0
+        # Transitions are buffered and bulk-inserted via store_batch.  The
+        # replay buffer is only *read* during collection when an exploring
+        # act() is about to refresh its perturbation (parameter-noise
+        # adaptation samples replayed states), so flushing right before
+        # that point keeps the buffer state those reads observe — and the
+        # final buffer contents — identical to per-step add() calls.
+        pending: List[tuple] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            states, actions, rewards, next_states = zip(*pending)
+            pending.clear()
+            self.ddpg.store_batch(
+                np.stack(states),
+                np.stack(actions),
+                np.asarray(rewards, dtype=np.float64),
+                np.stack(next_states),
+            )
+
         for step in range(steps):
             if step > 0 and step % self.config.reset_interval == 0:
                 state = self.env.reset()
                 state = self._maybe_inject_burst(state, rng)
+                flush()
                 self.ddpg.refresh_perturbation()
             if float(rng.uniform()) < random_fraction:
                 simplex = rng.generator.dirichlet(np.ones(self.env.action_dim))
             else:
+                if self.ddpg.refresh_due():
+                    flush()
                 simplex = self.ddpg.act(state, explore=True)
             executed = self._simplex_to_executed(simplex)
             next_state, reward, _ = self.env.step(executed)
             self.dataset.add(state, executed.astype(np.float64), next_state)
-            self.ddpg.store(
-                state,
-                executed / self.env.consumer_budget,
-                reward,
-                next_state,
+            pending.append(
+                (state, executed / self.env.consumer_budget, reward, next_state)
             )
             state = next_state
             added += 1
+        flush()
         return added
 
     def _maybe_inject_burst(
@@ -204,49 +225,87 @@ class MirasAgent:
             rng=self._rngs["model-env"].fork(f"n{len(self.dataset)}"),
         )
 
+    def build_batched_model_env(
+        self, batch_size: Optional[int] = None
+    ) -> BatchedModelEnv:
+        """The vectorised synthetic environment (K parallel rollouts)."""
+        if self.refined_model is None:
+            raise RuntimeError("train_model() must run before policy training")
+        return BatchedModelEnv(
+            self.refined_model,
+            self.dataset,
+            consumer_budget=self.env.consumer_budget,
+            rollout_length=self.config.policy.rollout_length,
+            batch_size=batch_size or self.config.policy.rollout_batch,
+            rng=self._rngs["model-env"].fork(f"nb{len(self.dataset)}"),
+        )
+
     def train_policy(self) -> tuple:
         """Inner loop of Algorithm 2: synthetic rollouts + DDPG updates.
+
+        Rollouts advance ``policy.rollout_batch`` (K) episodes per pass
+        through the vectorised :class:`BatchedModelEnv` — one batched
+        model forward and one perturbed-actor forward per synthetic step
+        instead of K batch-of-1 passes.  With K=1 the schedule (RNG
+        draws, update cadence, patience accounting) is identical to the
+        historical serial loop.
 
         Stops early once the mean rollout return stops improving for
         ``policy.patience`` consecutive rollouts.  Returns
         (rollouts_run, mean_return_of_last_rollouts).
         """
         cfg = self.config.policy
-        model_env = self.build_model_env()
+        model_env = self.build_batched_model_env()
         returns: List[float] = []
         best_return = -np.inf
         stale = 0
         rollouts_run = 0
-        for _ in range(cfg.rollouts_per_iteration):
-            state = model_env.reset()
-            self.ddpg.refresh_perturbation()
-            episode_return = 0.0
-            done = False
-            while not done:
-                simplex = self.ddpg.act(state, explore=True)
-                executed = model_env.allocation_from_simplex(simplex)
-                next_state, reward, done = model_env.step(executed)
-                self.ddpg.store(
-                    state,
-                    executed / self.env.consumer_budget,
-                    reward,
-                    next_state,
-                )
-                if len(self.ddpg.replay) >= self.config.policy.ddpg.batch_size:
-                    self.ddpg.update_many(cfg.updates_per_step)
-                state = next_state
-                episode_return += reward
-            returns.append(episode_return)
-            rollouts_run += 1
-            if episode_return > best_return + 1e-9:
-                best_return = episode_return
-                stale = 0
-            else:
-                stale += 1
-                if stale >= cfg.patience:
-                    break
+        stop = False
+        while not stop and rollouts_run < cfg.rollouts_per_iteration:
+            k = min(cfg.rollout_batch, cfg.rollouts_per_iteration - rollouts_run)
+            with self.profiler.phase("agent/rollout_batch"):
+                episode_returns = self._run_rollout_batch(model_env, k)
+            # Patience bookkeeping consumes episodes in rollout order, as
+            # if they had finished one at a time.
+            for episode_return in episode_returns:
+                episode_return = float(episode_return)
+                returns.append(episode_return)
+                rollouts_run += 1
+                if episode_return > best_return + 1e-9:
+                    best_return = episode_return
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= cfg.patience:
+                        stop = True
+                        break
         tail = returns[-min(5, len(returns)) :]
         return rollouts_run, float(np.mean(tail))
+
+    def _run_rollout_batch(
+        self, model_env: BatchedModelEnv, k: int
+    ) -> np.ndarray:
+        """Advance K synthetic episodes in lockstep; returns (K,) returns."""
+        cfg = self.config.policy
+        states = model_env.reset(k)
+        self.ddpg.refresh_perturbation()
+        episode_returns = np.zeros(k)
+        done = False
+        while not done:
+            simplexes = self.ddpg.act_batch(states, explore=True)
+            executed = model_env.allocation_from_simplex_batch(simplexes)
+            next_states, rewards, done = model_env.step(executed)
+            self.ddpg.store_batch(
+                states,
+                executed / self.env.consumer_budget,
+                rewards,
+                next_states,
+            )
+            if len(self.ddpg.replay) >= cfg.ddpg.batch_size:
+                self.ddpg.update_many(cfg.updates_per_step * k)
+            states = next_states
+            episode_returns += rewards
+        return episode_returns
 
     # --- Evaluation on the real environment -----------------------------------
     def evaluate(self, steps: Optional[int] = None) -> IterationResult:

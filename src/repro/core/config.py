@@ -65,12 +65,18 @@ class PolicyConfig:
     #: improving for this many consecutive rollout batches ("until
     #: performance of the policy stops improving", Algorithm 2).
     patience: int = 5
+    #: Synthetic rollouts advanced together per pass of the vectorised
+    #: rollout engine (K in BatchedModelEnv).  1 reproduces the serial
+    #: schedule bit-for-bit; larger values trade per-episode update
+    #: interleaving for batched model/actor forwards.
+    rollout_batch: int = 1
 
     def __post_init__(self):
         check_positive("rollout_length", self.rollout_length)
         check_positive("rollouts_per_iteration", self.rollouts_per_iteration)
         check_positive("updates_per_step", self.updates_per_step)
         check_positive("patience", self.patience)
+        check_positive("rollout_batch", self.rollout_batch)
 
 
 @dataclass

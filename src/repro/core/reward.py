@@ -11,7 +11,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["reward_eq1", "cumulative_discounted_reward"]
+__all__ = ["reward_eq1", "reward_eq1_batch", "cumulative_discounted_reward"]
 
 
 def reward_eq1(wip: np.ndarray) -> float:
@@ -20,6 +20,20 @@ def reward_eq1(wip: np.ndarray) -> float:
     if np.any(wip < 0):
         raise ValueError(f"WIP must be non-negative, got {wip}")
     return 1.0 - float(wip.sum())
+
+
+def reward_eq1_batch(wip: np.ndarray) -> np.ndarray:
+    """Eq. (1) over a ``(K, state_dim)`` batch; returns ``(K,)`` rewards.
+
+    Row ``k`` equals ``reward_eq1(wip[k])`` bit-for-bit (the axis-1 sum
+    reduces each row in the same order as the flat sum of one row).
+    """
+    wip = np.asarray(wip, dtype=np.float64)
+    if wip.ndim != 2:
+        raise ValueError(f"expected a (K, state_dim) batch, got {wip.shape}")
+    if np.any(wip < 0):
+        raise ValueError("WIP must be non-negative")
+    return 1.0 - wip.sum(axis=1)
 
 
 def cumulative_discounted_reward(rewards: Sequence[float], gamma: float) -> float:

@@ -6,7 +6,9 @@
   (training traces), Figs. 7–8 (algorithm comparisons) and the ablations,
   each with paper-scale and scaled-down parameter sets,
 - :mod:`repro.eval.reporting` — ASCII tables/series in the shape the paper
-  reports.
+  reports,
+- :mod:`repro.eval.parallel` — process-parallel map over experiment cells
+  with label-derived seeds (byte-identical to the serial runner).
 """
 
 from repro.eval.runner import (
@@ -35,6 +37,14 @@ from repro.eval.capacity import (
     minimum_stable_allocation,
     per_task_arrival_rates,
     recommended_budget,
+)
+from repro.eval.parallel import (
+    ExperimentCell,
+    default_cells,
+    derive_cell_seed,
+    results_to_json,
+    run_cells,
+    write_results,
 )
 from repro.eval.replication import ReplicatedComparison, replicate_comparison
 from repro.eval.reporting import (
@@ -70,4 +80,10 @@ __all__ = [
     "expected_steady_state_wip",
     "ReplicatedComparison",
     "replicate_comparison",
+    "ExperimentCell",
+    "default_cells",
+    "derive_cell_seed",
+    "results_to_json",
+    "run_cells",
+    "write_results",
 ]

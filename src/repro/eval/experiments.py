@@ -44,6 +44,7 @@ from repro.workload.bursts import (
 )
 
 __all__ = [
+    "EXPERIMENTS",
     "Fig5Result",
     "dataset_preset",
     "experiment_fig5_model_accuracy",
@@ -532,3 +533,21 @@ def ablation_window_length(
             "steps": float(steps),
         }
     return out
+
+
+# ---------------------------------------------------------------------------
+# Experiment registry (consumed by repro.eval.parallel and the CLI)
+# ---------------------------------------------------------------------------
+
+#: Name -> experiment entry point.  Every entry point is self-contained:
+#: it builds its own system/agent from an explicit ``seed`` argument, so
+#: a registry cell can run in any process with no shared state.
+EXPERIMENTS = {
+    "fig5": experiment_fig5_model_accuracy,
+    "fig6": experiment_fig6_training_trace,
+    "fig7": experiment_fig7_msd_comparison,
+    "fig8": experiment_fig8_ligo_comparison,
+    "ablate-refinement": ablation_refinement,
+    "ablate-noise": ablation_exploration_noise,
+    "ablate-window": ablation_window_length,
+}

@@ -45,6 +45,18 @@ class StepRecord:
     #: Per-workflow-type mean response times this window.
     response_by_type: Dict[str, float] = field(default_factory=dict)
 
+    def to_jsonable(self) -> Dict:
+        """Plain-JSON view (ndarray allocation becomes a list)."""
+        return {
+            "step": self.step,
+            "wip_sum": self.wip_sum,
+            "reward": self.reward,
+            "mean_response_time": self.mean_response_time,
+            "completions": self.completions,
+            "allocation": np.asarray(self.allocation).tolist(),
+            "response_by_type": dict(self.response_by_type),
+        }
+
 
 @dataclass
 class EvalResult:
@@ -103,6 +115,14 @@ class EvalResult:
 
     def total_completions(self) -> int:
         return sum(r.completions for r in self.records)
+
+    def to_jsonable(self) -> Dict:
+        """Plain-JSON view (used by the parallel experiment runner)."""
+        return {
+            "allocator": self.allocator,
+            "scenario": self.scenario,
+            "records": [r.to_jsonable() for r in self.records],
+        }
 
 
 def make_env(

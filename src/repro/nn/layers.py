@@ -93,6 +93,11 @@ class Dense:
         self._x: Optional[np.ndarray] = None
         self._z: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
+        # Preallocated [x | aux] buffer, reused while the batch size is
+        # stable (fixed-shape training batches never reallocate).  Filling
+        # it is value-identical to np.concatenate, so outputs are bitwise
+        # unchanged.
+        self._concat_buf: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def forward(
@@ -108,7 +113,19 @@ class Dense:
                 raise ValueError(
                     f"aux shape {aux.shape} != ({x.shape[0]}, {self.aux_dim})"
                 )
-            x = np.concatenate([x, aux], axis=1)
+            if x.dtype == np.float64 and aux.dtype == np.float64:
+                buf = self._concat_buf
+                if buf is None or buf.shape[0] != x.shape[0]:
+                    buf = np.empty(
+                        (x.shape[0], self.in_dim + self.aux_dim),
+                        dtype=np.float64,
+                    )
+                    self._concat_buf = buf
+                buf[:, : self.in_dim] = x
+                buf[:, self.in_dim :] = aux
+                x = buf
+            else:
+                x = np.concatenate([x, aux], axis=1)
         elif aux is not None:
             raise ValueError("layer does not accept an auxiliary input")
 

@@ -18,6 +18,7 @@ from repro.rl.noise import (
     GaussianActionNoise,
     OrnsteinUhlenbeckNoise,
     project_to_simplex,
+    project_to_simplex_batch,
 )
 from repro.rl.replay import ReplayBuffer
 
@@ -31,4 +32,5 @@ __all__ = [
     "GaussianActionNoise",
     "OrnsteinUhlenbeckNoise",
     "project_to_simplex",
+    "project_to_simplex_batch",
 ]

@@ -26,6 +26,7 @@ from repro.rl.noise import (
     GaussianActionNoise,
     OrnsteinUhlenbeckNoise,
     project_to_simplex,
+    project_to_simplex_batch,
 )
 from repro.rl.replay import ReplayBuffer
 from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
@@ -160,6 +161,14 @@ class DDPGAgent:
         self.exploration_actions = 0
 
     # Exploration machinery -------------------------------------------------
+    def refresh_due(self) -> bool:
+        """True when the next exploring act() will refresh the perturbed
+        actor (and therefore sample the replay buffer to adapt sigma)."""
+        return (
+            self._perturbed_network is None
+            or self._acts_since_perturb >= self.config.perturb_interval
+        )
+
     def refresh_perturbation(self) -> None:
         """Resample the perturbed actor (call at episode boundaries)."""
         flat = self.actor.network.get_flat()
@@ -197,10 +206,7 @@ class DDPGAgent:
         self.exploration_actions += 1
 
         if self.config.exploration == "parameter":
-            if (
-                self._perturbed_network is None
-                or self._acts_since_perturb >= self.config.perturb_interval
-            ):
+            if self.refresh_due():
                 self.refresh_perturbation()
                 self.adapt_parameter_noise()
             self._acts_since_perturb += 1
@@ -212,6 +218,48 @@ class DDPGAgent:
         if np.any(noisy < 0) or abs(float(noisy.sum()) - 1.0) > 1e-6:
             self.constraint_violations += 1
             noisy = project_to_simplex(noisy)
+        return noisy
+
+    def act_batch(
+        self, states: np.ndarray, explore: bool = True
+    ) -> np.ndarray:
+        """Simplex actions for a ``(K, state_dim)`` block in one forward.
+
+        The exploration bookkeeping mirrors :meth:`act` applied K times
+        with one shared decision point: the perturbed network refreshes
+        when the *first* row of the block would have triggered it, then
+        all K rows ride the same perturbation (one perturbed-weight
+        forward per rollout set).  For K=1 the counter updates, RNG
+        draws, and network forwards are identical to :meth:`act`.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if not explore or self.config.exploration == "none":
+            return self.actor.act_batch(states)
+        k = states.shape[0]
+        self.exploration_actions += k
+
+        if self.config.exploration == "parameter":
+            if self.refresh_due():
+                self.refresh_perturbation()
+                self.adapt_parameter_noise()
+            self._acts_since_perturb += k
+            return self.actor.act_batch(
+                states, network=self._perturbed_network
+            )
+
+        # Action-space noise: perturb rows, count violations, repair each
+        # violating row by projection.
+        clean = self.actor.act_batch(states)
+        noisy = clean + self.action_noise.sample_batch(
+            k, self.action_dim, self.rng
+        )
+        bad = np.nonzero(
+            np.any(noisy < 0, axis=1)
+            | (np.abs(noisy.sum(axis=1) - 1.0) > 1e-6)
+        )[0]
+        if bad.size:
+            self.constraint_violations += int(bad.size)
+            noisy[bad] = project_to_simplex_batch(noisy[bad])
         return noisy
 
     def act_greedy(self, state: np.ndarray) -> np.ndarray:
@@ -227,6 +275,16 @@ class DDPGAgent:
         next_state: np.ndarray,
     ) -> None:
         self.replay.add(state, action, reward, next_state)
+
+    def store_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+    ) -> None:
+        """Bulk-store a ``(K, ·)`` block of transitions."""
+        self.replay.add_batch(states, actions, rewards, next_states)
 
     def update(self) -> Tuple[float, float]:
         """One DDPG update; returns (critic_loss, mean_q_of_policy)."""

@@ -25,6 +25,7 @@ __all__ = [
     "OrnsteinUhlenbeckNoise",
     "AdaptiveParameterNoise",
     "project_to_simplex",
+    "project_to_simplex_batch",
 ]
 
 
@@ -46,6 +47,21 @@ def project_to_simplex(vector: np.ndarray) -> np.ndarray:
     return np.maximum(vector - theta, 0.0)
 
 
+def project_to_simplex_batch(vectors: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`project_to_simplex` for a ``(K, dim)`` batch.
+
+    Applies the scalar projection per row (violating rows are rare, so
+    this is not a hot path) — each row is bit-identical to the serial
+    repair an unbatched agent would perform.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValueError(f"expected a 2-D batch, got shape {vectors.shape}")
+    if vectors.shape[0] == 0:
+        return vectors.copy()
+    return np.stack([project_to_simplex(row) for row in vectors])
+
+
 class GaussianActionNoise:
     """I.i.d. Gaussian noise added to the action (the naive baseline)."""
 
@@ -55,6 +71,18 @@ class GaussianActionNoise:
 
     def sample(self, action_dim: int, rng: RngStream) -> np.ndarray:
         return rng.normal(0.0, self.sigma, size=action_dim)
+
+    def sample_batch(
+        self, batch: int, action_dim: int, rng: RngStream
+    ) -> np.ndarray:
+        """I.i.d. noise for K rollouts in one draw; ``(K, action_dim)``.
+
+        For ``batch=1`` this consumes the bit generator exactly like
+        :meth:`sample` (numpy draws ``size=(1, d)`` and ``size=d``
+        identically), so batched K=1 exploration matches serial.
+        """
+        check_positive("batch", batch)
+        return rng.normal(0.0, self.sigma, size=(batch, action_dim))
 
     def reset(self) -> None:
         """No state to reset; present for interface symmetry."""
@@ -91,6 +119,25 @@ class OrnsteinUhlenbeckNoise:
         )
         self._state = self._state + drift + diffusion
         return self._state.copy()
+
+    def sample_batch(
+        self, batch: int, action_dim: int, rng: RngStream
+    ) -> np.ndarray:
+        """Batched sampling is only defined for a single rollout.
+
+        The OU process is a *temporal* correlation over one rollout's
+        steps; K parallel rollouts sharing one OU state would correlate
+        across rollouts instead.  ``batch=1`` delegates to :meth:`sample`
+        (preserving serial bit-identity); larger batches are an error.
+        """
+        check_positive("batch", batch)
+        if batch != 1:
+            raise ValueError(
+                "OrnsteinUhlenbeckNoise is temporally correlated per "
+                "rollout and cannot drive a rollout batch; use "
+                "rollout_batch=1 or gaussian/parameter exploration"
+            )
+        return self.sample(action_dim, rng)[np.newaxis]
 
     def reset(self) -> None:
         self._state = np.zeros(self.action_dim)

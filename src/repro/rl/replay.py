@@ -74,6 +74,66 @@ class ReplayBuffer:
         self._size = min(self._size + 1, self.capacity)
         self.total_added += 1
 
+    def add_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+    ) -> None:
+        """Store ``n`` transitions with one shape check and slice writes.
+
+        Equivalent to ``n`` sequential :meth:`add` calls (same final
+        contents, cursor, and eviction order) but validates once and
+        writes each array in at most two wraparound-aware slice
+        assignments, so the synthetic-rollout engine can feed a whole
+        ``(K, dim)`` step in one call.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        actions = np.asarray(actions, dtype=np.float64)
+        rewards = np.asarray(rewards, dtype=np.float64).reshape(-1)
+        next_states = np.asarray(next_states, dtype=np.float64)
+        n = states.shape[0] if states.ndim == 2 else -1
+        if states.shape != (n, self.state_dim):
+            raise ValueError(
+                f"states shape {states.shape} != (n, {self.state_dim})"
+            )
+        if actions.shape != (n, self.action_dim):
+            raise ValueError(
+                f"actions shape {actions.shape} != ({n}, {self.action_dim})"
+            )
+        if rewards.shape != (n,):
+            raise ValueError(f"rewards shape {rewards.shape} != ({n},)")
+        if next_states.shape != (n, self.state_dim):
+            raise ValueError(
+                f"next_states shape {next_states.shape} != "
+                f"({n}, {self.state_dim})"
+            )
+        if n == 0:
+            return
+        start = self._cursor
+        if n > self.capacity:
+            # Sequential adds would overwrite the first n - capacity rows;
+            # only the tail survives, landing after an advanced cursor.
+            start = (start + n - self.capacity) % self.capacity
+            states = states[-self.capacity :]
+            actions = actions[-self.capacity :]
+            rewards = rewards[-self.capacity :]
+            next_states = next_states[-self.capacity :]
+        first = min(states.shape[0], self.capacity - start)
+        for dest, src in (
+            (self._states, states),
+            (self._actions, actions),
+            (self._rewards, rewards[:, np.newaxis]),
+            (self._next_states, next_states),
+        ):
+            dest[start : start + first] = src[:first]
+            if first < src.shape[0]:
+                dest[: src.shape[0] - first] = src[first:]
+        self._cursor = (self._cursor + n) % self.capacity
+        self._size = min(self._size + n, self.capacity)
+        self.total_added += n
+
     def sample(self, batch_size: int, rng: RngStream) -> Dict[str, np.ndarray]:
         """Uniformly sample a batch (with replacement when undersized)."""
         if self.profiler.enabled:
