@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="rebuild the project index instead of using the on-disk cache",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse and per-file-check N files in parallel "
+             "(order-deterministic; default: 1)",
+    )
     return parser
 
 
@@ -82,6 +87,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     config = load_config(Path(args.root) if args.root else None)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.disable:
         extra = [r.strip() for r in args.disable.split(",") if r.strip()]
         known = set(all_rule_ids())
@@ -121,7 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = run_analysis(paths, config=config)
+        result = run_analysis(paths, config=config, jobs=args.jobs)
         Baseline.from_findings(result.findings).save(baseline_path)
         print(
             f"baseline updated: {len(result.findings)} finding(s) "
@@ -132,7 +140,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     baseline = (
         Baseline.load(baseline_path) if baseline_path else Baseline.empty()
     )
-    result = run_analysis(paths, config=config, baseline=baseline)
+    result = run_analysis(
+        paths, config=config, baseline=baseline, jobs=args.jobs
+    )
 
     if args.format == "json":
         print(json.dumps(_to_json(result), indent=2))

@@ -10,6 +10,7 @@ Recognised keys::
     cache = ".reprolint-cache.json"        # project-index cache (false = off)
     sim_packages = ["repro.sim"]           # layers owning event-loop state (E1)
     step_entrypoints = ["run_window", "step"]  # extra E1 roots
+    hotpath_roots = ["step", "predict_batch"]  # N102 reachability roots
 
     [tool.reprolint.layers]        # import DAG (L1): package -> allowed deps
     "repro.sim" = ["repro.telemetry", "repro.utils", "repro.workflows"]
@@ -22,6 +23,7 @@ the analyser importable everywhere the library runs.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -37,6 +39,7 @@ __all__ = [
     "find_pyproject",
     "DEFAULT_LAYERS",
     "DEFAULT_STEP_ENTRYPOINTS",
+    "DEFAULT_HOTPATH_ROOTS",
 ]
 
 _DEFAULT_PATHS = ["src/repro"]
@@ -86,6 +89,15 @@ DEFAULT_STEP_ENTRYPOINTS: List[str] = [
     "stop",
 ]
 
+#: Roots of the numeric hot path (N102): scalar accumulation loops in
+#: functions reachable from these names are flagged as vectorisation
+#: hazards; cold utility code is left alone.
+DEFAULT_HOTPATH_ROOTS: List[str] = [
+    "step",
+    "predict_batch",
+    "train_policy",
+]
+
 
 @dataclass
 class LintConfig:
@@ -107,8 +119,32 @@ class LintConfig:
     step_entrypoints: List[str] = field(
         default_factory=lambda: list(DEFAULT_STEP_ENTRYPOINTS)
     )
+    #: Roots of the N102 hot-path reachability closure.
+    hotpath_roots: List[str] = field(
+        default_factory=lambda: list(DEFAULT_HOTPATH_ROOTS)
+    )
     #: Project-index cache file relative to root; None disables caching.
     cache: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Stable string over every analysis-affecting setting.
+
+        Folded into :func:`repro.analysis.index.project_digest` so a
+        ``[tool.reprolint]`` edit invalidates the index cache even when
+        no source file changed.  ``root`` and ``cache`` are deliberately
+        left out: neither changes what the analysis computes.
+        """
+        payload = {
+            "paths": list(self.paths),
+            "disable": sorted(self.disable),
+            "baseline": self.baseline,
+            "exclude": list(self.exclude),
+            "layers": {k: sorted(v) for k, v in sorted(self.layers.items())},
+            "sim_packages": list(self.sim_packages),
+            "step_entrypoints": list(self.step_entrypoints),
+            "hotpath_roots": list(self.hotpath_roots),
+        }
+        return json.dumps(payload, sort_keys=True)
 
     def resolved_paths(self) -> List[Path]:
         """Analysis targets as absolute paths."""
@@ -168,6 +204,8 @@ def load_config(start: Optional[Path] = None) -> LintConfig:
         config.sim_packages = [str(p) for p in section["sim_packages"]]
     if "step_entrypoints" in section:
         config.step_entrypoints = [str(n) for n in section["step_entrypoints"]]
+    if "hotpath_roots" in section:
+        config.hotpath_roots = [str(n) for n in section["hotpath_roots"]]
     if "cache" in section:
         # ``cache = false`` disables the index cache; a string names it.
         config.cache = (

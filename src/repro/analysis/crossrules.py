@@ -21,6 +21,21 @@ E1     Event discipline — the race detector for the discrete-event
 L1     Layering: module-scope imports must follow the DAG documented in
        docs/ARCHITECTURE.md (L101).  Lazy function-level imports are
        exempt by design.
+N1     Numeric discipline: mixed float32/float64 provenance within a
+       function or across a call edge (N101), bare Python-float
+       accumulation loops reachable from the hot-path roots (N102), and
+       in-place mutation of array parameters that escape the defining
+       module (N103).
+P1     Process safety: workers handed to pools/executors must be
+       module-level callables (P101) that read no module-level mutable
+       globals (P102) and no ambient RNG state — seeds must be derived
+       per task (P103); result combination must be input-order
+       deterministic (P104).
+B1     Batch-pair contracts: every ``@batched_pair`` declaration must
+       name an existing serial twin (B101) whose signature aligns modulo
+       the leading batch axis (B102), and — when tests are under
+       analysis — at least one test must reference the batched side
+       (B103).
 =====  ======================================================================
 
 All checks work on plain index data, so they run identically from a
@@ -36,6 +51,7 @@ from repro.analysis.config import LintConfig
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.index import (
     SIM_OWNED_SEGMENTS,
+    BatchPairSite,
     EmitSite,
     ForkSite,
     FunctionInfo,
@@ -48,6 +64,9 @@ __all__ = [
     "TelemetryConformanceChecker",
     "EventDisciplineChecker",
     "LayeringChecker",
+    "NumericDisciplineChecker",
+    "ProcessSafetyChecker",
+    "BatchPairChecker",
     "all_project_checkers",
     "project_rule_rows",
 ]
@@ -399,6 +418,397 @@ class LayeringChecker(ProjectChecker):
             )
 
 
+def _call_closure(
+    roots: Set[str], by_name: Dict[str, List[FunctionInfo]]
+) -> Set[str]:
+    """Name-level reachability closure over the project call graph."""
+    reachable: Set[str] = set()
+    frontier = [n for n in roots if n in by_name]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        for func in by_name[name]:
+            for callee in func.calls:
+                if callee not in reachable and callee in by_name:
+                    frontier.append(callee)
+    return reachable
+
+
+def _functions_by_name(
+    index: ProjectIndex,
+) -> Dict[str, List[FunctionInfo]]:
+    by_name: Dict[str, List[FunctionInfo]] = defaultdict(list)
+    for func in index.functions:
+        by_name[func.name].append(func)
+    return by_name
+
+
+class NumericDisciplineChecker(ProjectChecker):
+    """N1: dtype provenance, hot-loop accumulation, parameter aliasing."""
+
+    family = "N1"
+    rules = [
+        (
+            "N101",
+            "mixed float32/float64 provenance in one function or across a "
+            "direct call edge; silent promotion doubles memory and breaks "
+            "bit-reproducibility — pin one dtype",
+        ),
+        (
+            "N102",
+            "bare Python-float accumulation loop in a function reachable "
+            "from the hot-path roots; use a vectorised reduction "
+            "(np.sum/np.dot) or math.fsum",
+        ),
+        (
+            "N103",
+            "in-place numpy mutation (+=, out=, np.copyto, slice-assign) "
+            "of a parameter in a function called from other modules; the "
+            "caller's array is silently modified through the alias",
+        ),
+    ]
+
+    @staticmethod
+    def _dtype_set(func: FunctionInfo) -> Set[str]:
+        return {
+            d.name for d in func.dtype_mentions
+            if d.name in ("float32", "float64")  # reprolint: disable=N101
+        }
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        yield from self._check_mixed_dtypes(index)
+        yield from self._check_hot_accumulation(index, config)
+        yield from self._check_param_mutations(index)
+
+    def _check_mixed_dtypes(self, index: ProjectIndex) -> Iterator[Finding]:
+        by_name = _functions_by_name(index)
+        for func in sorted(index.functions, key=lambda f: (f.path, f.line)):
+            dtypes = self._dtype_set(func)
+            if {"float32", "float64"} <= dtypes:  # reprolint: disable=N101
+                site = min(
+                    (d for d in func.dtype_mentions if d.name == "float32"),
+                    key=lambda d: (d.line, d.column),
+                )
+                partner = min(
+                    (d for d in func.dtype_mentions if d.name == "float64"),
+                    key=lambda d: (d.line, d.column),
+                )
+                yield self.finding(
+                    "N101", func.path, site.line, site.column,
+                    f"`{func.qualname}` mixes float32 (line {site.line}) "
+                    f"and float64 (line {partner.line}); arithmetic "
+                    "between them silently promotes — pin one dtype for "
+                    "the whole function",
+                )
+                continue
+            if len(dtypes) != 1:
+                continue
+            (own,) = dtypes
+            other = "float64" if own == "float32" else "float32"
+            for callee_name in sorted(set(func.calls)):
+                candidates = by_name.get(callee_name, [])
+                if not candidates:
+                    continue
+                callee_sets = {
+                    frozenset(self._dtype_set(c)) for c in candidates
+                }
+                # Only an unambiguous, single-dtype callee can contradict.
+                if callee_sets != {frozenset({other})}:
+                    continue
+                site = min(
+                    func.dtype_mentions, key=lambda d: (d.line, d.column)
+                )
+                yield self.finding(
+                    "N101", func.path, site.line, site.column,
+                    f"`{func.qualname}` pins {own} but calls "
+                    f"`{callee_name}` which pins {other}; values crossing "
+                    "that edge promote silently — align the dtypes",
+                )
+
+    def _check_hot_accumulation(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        by_name = _functions_by_name(index)
+        hot = _call_closure(set(config.hotpath_roots), by_name)
+        for func in sorted(index.functions, key=lambda f: (f.path, f.line)):
+            if func.name not in hot:
+                continue
+            floats = set(func.float_names)
+            for site in func.accum_loops:
+                if site.name not in floats:
+                    continue
+                yield self.finding(
+                    "N102", func.path, site.line, site.column,
+                    f"`{func.qualname}` (reachable from hot-path roots "
+                    f"{sorted(config.hotpath_roots)}) accumulates "
+                    f"`{site.name}` one Python float per iteration; "
+                    "replace the loop with a vectorised reduction "
+                    "(np.sum, np.dot, cumulative ufuncs) or math.fsum",
+                )
+
+    def _check_param_mutations(
+        self, index: ProjectIndex
+    ) -> Iterator[Finding]:
+        # "Escapes the defining module", keyed off the import graph: some
+        # module that imports the defining module calls the function name.
+        importers: Dict[str, Set[str]] = defaultdict(set)
+        for edge in index.imports:
+            importers[edge.imported].add(edge.importer)
+        callers: Dict[str, Set[str]] = defaultdict(set)
+        for func in index.functions:
+            for callee in func.calls:
+                callers[callee].add(func.module)
+        for func in sorted(index.functions, key=lambda f: (f.path, f.line)):
+            if not func.param_mutations:
+                continue
+            external = callers.get(func.name, set()) & importers.get(
+                func.module, set()
+            )
+            external.discard(func.module)
+            if not external:
+                continue
+            rebound = set(func.rebound_params)
+            for mut in func.param_mutations:
+                if mut.param in ("self", "cls") or mut.param in rebound:
+                    continue
+                yield self.finding(
+                    "N103", func.path, mut.line, mut.column,
+                    f"`{func.qualname}` mutates parameter `{mut.param}` "
+                    f"in place ({mut.kind}) and is called from "
+                    f"{sorted(external)}; the caller's array changes "
+                    "under it — copy first, or document the contract and "
+                    "suppress this line",
+                )
+
+
+class ProcessSafetyChecker(ProjectChecker):
+    """P1: callables crossing a process boundary must be self-contained."""
+
+    family = "P1"
+    rules = [
+        (
+            "P101",
+            "worker handed to a pool/executor is a lambda, nested "
+            "function, or bound method; process pools pickle the callable "
+            "— only module-level functions survive the trip",
+        ),
+        (
+            "P102",
+            "pool worker reads a module-level mutable global; each worker "
+            "process gets a stale copy — pass the state through the task "
+            "payload instead",
+        ),
+        (
+            "P103",
+            "pool worker uses ambient RNG state or an OS-seeded "
+            "generator; derive per-task seeds via derive_cell_seed / "
+            "SeedSequence so runs replay identically",
+        ),
+        (
+            "P104",
+            "completion-order result combination (as_completed / "
+            "imap_unordered) makes output depend on scheduling; use "
+            "map/imap or reorder by input index",
+        ),
+    ]
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        by_name = _functions_by_name(index)
+        for site in sorted(
+            index.pool_sites, key=lambda s: (s.path, s.line, s.column)
+        ):
+            yield from self._check_site(site, by_name, index)
+        for site in sorted(
+            index.unordered_sites, key=lambda s: (s.path, s.line, s.column)
+        ):
+            where = f" in `{site.function}`" if site.function else ""
+            yield self.finding(
+                "P104", site.path, site.line, site.column,
+                f"`{site.name}`{where} yields results in completion "
+                "order — nondeterministic under scheduling jitter; use "
+                "map/imap (input order) or index the results and sort",
+            )
+
+    def _check_site(self, site, by_name, index) -> Iterator[Finding]:
+        if site.worker_form in ("lambda", "other"):
+            yield self.finding(
+                "P101", site.path, site.line, site.column,
+                f"`{site.method}` worker is a "
+                f"{'lambda' if site.worker_form == 'lambda' else 'computed expression'}; "
+                "process pools pickle workers by qualified name — define "
+                "a module-level function",
+            )
+            return
+        if site.worker is None:
+            return
+        candidates = by_name.get(site.worker, [])
+        local = [f for f in candidates if f.module == site.module]
+        resolved = local or candidates
+        if not resolved:
+            return  # defined outside the analysed tree: unknowable
+        if all(f.qualname != f.name for f in resolved):
+            kind = (
+                "bound method" if site.worker_form == "attribute"
+                else "nested function"
+            )
+            yield self.finding(
+                "P101", site.path, site.line, site.column,
+                f"`{site.method}` worker `{site.worker}` resolves to a "
+                f"{kind} ({resolved[0].qualname}); workers must be "
+                "module-level functions to pickle cleanly and to keep "
+                "their state explicit",
+            )
+            return
+        for func in resolved:
+            if func.qualname != func.name:
+                continue
+            mutable = set(
+                index.mutable_globals.get(func.module, ())
+            ) & set(func.reads)
+            for name in sorted(mutable):
+                yield self.finding(
+                    "P102", func.path, func.line, func.column,
+                    f"pool worker `{func.qualname}` (dispatched at "
+                    f"{site.path}:{site.line}) reads module-level mutable "
+                    f"global `{name}`; worker processes see a fork-time "
+                    "copy — pass it through the task payload",
+                )
+            ambient = set(
+                index.rng_globals.get(func.module, ())
+            ) & set(func.reads)
+            for name in sorted(ambient):
+                yield self.finding(
+                    "P103", func.path, func.line, func.column,
+                    f"pool worker `{func.qualname}` reads module-level "
+                    f"RNG `{name}`; every worker inherits the same "
+                    "generator state — derive a per-task seed with "
+                    "derive_cell_seed/SeedSequence instead",
+                )
+            for call in func.rng_calls:
+                if call.seeded:
+                    continue
+                yield self.finding(
+                    "P103", func.path, call.line, call.column,
+                    f"pool worker `{func.qualname}` constructs "
+                    f"`{call.name}()` with no seed (OS entropy); derive "
+                    "the seed from the task via "
+                    "derive_cell_seed/SeedSequence",
+                )
+
+
+class BatchPairChecker(ProjectChecker):
+    """B1: ``@batched_pair`` declarations vs their serial twins."""
+
+    family = "B1"
+    rules = [
+        (
+            "B101",
+            "@batched_pair names a serial twin that does not exist in the "
+            "same scope (module or class)",
+        ),
+        (
+            "B102",
+            "serial/batch parameter lists do not align modulo the leading "
+            "batch axis (allowing pluralised array names)",
+        ),
+        (
+            "B103",
+            "no test under analysis references the batched side of a "
+            "registered pair; add an equivalence test before relying on "
+            "the vectorised path",
+        ),
+    ]
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        functions = {(f.module, f.qualname): f for f in index.functions}
+        test_functions = [
+            f for f in index.functions if _is_test_path(f.path)
+        ]
+        for pair in sorted(
+            index.batch_pairs, key=lambda b: (b.path, b.line, b.column)
+        ):
+            if pair.serial_name is None:
+                continue  # computed name: unknowable, stays unchecked
+            serial_qualname = (
+                f"{pair.class_name}.{pair.serial_name}"
+                if pair.class_name else pair.serial_name
+            )
+            serial = functions.get((pair.module, serial_qualname))
+            if serial is None:
+                scope = pair.class_name or pair.module
+                yield self.finding(
+                    "B101", pair.path, pair.line, pair.column,
+                    f"@batched_pair({pair.serial_name!r}) on "
+                    f"`{pair.batch_name}` names no function in `{scope}`; "
+                    "the serial twin the equivalence contract rests on "
+                    "does not exist",
+                )
+                continue
+            problem = _signature_mismatch(
+                serial.params, pair.batch_params
+            )
+            if problem is not None:
+                yield self.finding(
+                    "B102", pair.path, pair.line, pair.column,
+                    f"`{pair.batch_name}{tuple(pair.batch_params)}` does "
+                    f"not align with serial twin "
+                    f"`{pair.serial_name}{tuple(serial.params)}`: "
+                    f"{problem} — row k of the batch call must mean "
+                    "exactly one serial call",
+                )
+            if test_functions and not any(
+                pair.batch_name in f.calls or pair.batch_name in f.reads
+                for f in test_functions
+            ):
+                yield self.finding(
+                    "B103", pair.path, pair.line, pair.column,
+                    f"no analysed test references `{pair.batch_name}`; "
+                    "a registered pair without an equivalence test is an "
+                    "unchecked promise",
+                )
+
+
+def _is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    if any(part in ("tests", "test") for part in parts[:-1]):
+        return True
+    name = parts[-1]
+    return name.startswith("test_") or name.endswith("_test.py")
+
+
+def _strip_receiver(params: List[str]) -> List[str]:
+    if params and params[0] in ("self", "cls"):
+        return list(params[1:])
+    return list(params)
+
+
+def _plural_of(serial: str, batch: str) -> bool:
+    if serial.endswith("y") and batch == serial[:-1] + "ies":
+        return True
+    return batch in (serial, serial + "s", serial + "es")
+
+
+def _signature_mismatch(
+    serial_params: List[str], batch_params: List[str]
+) -> Optional[str]:
+    """None when aligned; otherwise a human-readable reason."""
+    serial = _strip_receiver(serial_params)
+    batch = _strip_receiver(batch_params)
+    if len(batch) == len(serial) + 1:
+        batch = batch[1:]  # leading batch-size axis (e.g. ``batch``)
+    if len(batch) != len(serial):
+        return (
+            f"{len(batch)} batch parameter(s) vs {len(serial)} serial "
+            "(after dropping self/cls and at most one leading batch axis)"
+        )
+    for s, b in zip(serial, batch):
+        if not _plural_of(s, b):
+            return f"batch parameter `{b}` does not match serial `{s}`"
+    return None
+
+
 def all_project_checkers() -> List[ProjectChecker]:
     """Fresh instances of every cross-module checker, report order."""
     return [
@@ -406,6 +816,9 @@ def all_project_checkers() -> List[ProjectChecker]:
         TelemetryConformanceChecker(),
         EventDisciplineChecker(),
         LayeringChecker(),
+        NumericDisciplineChecker(),
+        ProcessSafetyChecker(),
+        BatchPairChecker(),
     ]
 
 

@@ -5,16 +5,36 @@
 call it directly with synthetic trees.
 
 Two checker tiers run over one parse: per-file rules (D/S/A families)
-see each module alone, and project rules (R/T/E/L families) consume the
-whole-tree :class:`~repro.analysis.index.ProjectIndex`, which is cached
-on disk keyed by source hashes when the config enables it.
+see each module alone, and project rules (R/T/E/L/N/P/B families)
+consume the whole-tree :class:`~repro.analysis.index.ProjectIndex`,
+which is cached on disk keyed by source hashes *and* the config
+fingerprint when the config enables it.
+
+``jobs > 1`` fans the parse + per-file-checker stage out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The split follows the
+``needs_project`` attribute: checkers that resolve names across modules
+(A1) stay in the parent, the rest run in workers against a single-module
+Project — the two paths produce byte-identical findings, and results
+merge in input order (``executor.map``), so ``--jobs`` can never reorder
+a report.  The worker is a module-level function that takes only plain
+strings and derives everything else locally: exactly the discipline the
+P1 family enforces on the rest of the repository.
+
+After suppression filtering the engine replays every inline
+``# reprolint: disable`` comment against the *raw* finding set: a
+comment that waives nothing real anymore is reported as U101, the
+inline twin of the stale-baseline failure.  U101 findings are exempt
+from inline suppression (a stale ``disable=all`` must not hide its own
+staleness) but honour ``disable`` config and the baseline like any
+other rule.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import LintConfig
@@ -54,12 +74,53 @@ class AnalysisResult:
         return 1 if self.findings or self.stale_baseline else 0
 
 
+def _analyse_file(path_str: str, root_str: str):
+    """Parse one file and run the per-file checkers that do not need the
+    whole project.
+
+    Module-level, arguments are plain strings, no module globals read,
+    no RNG: the shape the P1 family demands of pool workers — this
+    function is linted by the rules it helps enforce.  Returns
+    ``(module_info_or_None, local findings, parse-error finding_or_None)``.
+    """
+    path = Path(path_str)
+    root = Path(root_str)
+    module, error = parse_module(path, root=root)
+    if error is not None:
+        return None, [], _syntax_finding(path, root, error)
+    project = Project([module])
+    findings: List[Finding] = []
+    for checker in all_checkers():
+        if checker.needs_project:
+            continue
+        findings.extend(checker.check(module, project))
+    return module, findings, None
+
+
+def _syntax_finding(path: Path, root: Path, error: SyntaxError) -> Finding:
+    return Finding(
+        path=_display(path, root),
+        line=error.lineno or 1,
+        column=(error.offset or 0) or 1,
+        rule="P001",
+        severity=Severity.ERROR,
+        message=f"syntax error: {error.msg}",
+        family="P",
+    )
+
+
 def run_analysis(
     paths: Sequence[Path],
     config: Optional[LintConfig] = None,
     baseline: Optional[Baseline] = None,
+    jobs: int = 1,
 ) -> AnalysisResult:
-    """Analyse ``paths`` (files or directories) and return the result."""
+    """Analyse ``paths`` (files or directories) and return the result.
+
+    ``jobs > 1`` parallelises parsing and single-module checking over a
+    process pool; findings are merged in input order and are identical
+    to a serial run.
+    """
     config = config or LintConfig(root=Path.cwd())
     baseline = baseline or Baseline.empty()
     excludes = [str(config.root / e) for e in config.exclude]
@@ -74,35 +135,42 @@ def run_analysis(
     result = AnalysisResult()
     modules: List[ModuleInfo] = []
     raw: List[Finding] = []
-    for path in files:
-        module, error = parse_module(path, root=config.root)
+
+    root_str = str(config.root)
+    if jobs > 1 and len(files) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            # map() yields in input order regardless of completion order,
+            # so parallel runs report identically to serial ones (P104).
+            per_file = list(executor.map(
+                _analyse_file,
+                [str(f) for f in files],
+                [root_str] * len(files),
+            ))
+    else:
+        per_file = [_analyse_file(str(f), root_str) for f in files]
+
+    for module, local_findings, error_finding in per_file:
         result.checked_files += 1
-        if error is not None:
-            raw.append(
-                Finding(
-                    path=_display(path, config.root),
-                    line=error.lineno or 1,
-                    column=(error.offset or 0) or 1,
-                    rule="P001",
-                    severity=Severity.ERROR,
-                    message=f"syntax error: {error.msg}",
-                    family="P",
-                )
-            )
+        if error_finding is not None:
+            raw.append(error_finding)
             continue
         modules.append(module)
+        raw.extend(local_findings)
 
     project = Project(modules)
-    checkers = all_checkers()
-    for module in modules:
-        for checker in checkers:
-            for finding in checker.check(module, project):
-                raw.append(finding)
+    for checker in all_checkers():
+        if not checker.needs_project:
+            continue
+        for module in modules:
+            raw.extend(checker.check(module, project))
 
-    index = load_or_build_index(project, cache_path=config.cache_path())
+    index = load_or_build_index(
+        project,
+        cache_path=config.cache_path(),
+        fingerprint=config.fingerprint(),
+    )
     for project_checker in all_project_checkers():
-        for finding in project_checker.check(index, config):
-            raw.append(finding)
+        raw.extend(project_checker.check(index, config))
 
     filtered: List[Finding] = []
     for finding in raw:
@@ -114,12 +182,60 @@ def run_analysis(
         else:
             filtered.append(finding)
 
+    # U101 is matched against the raw set: a suppression stays live as
+    # long as its finding *would* fire, even while globally disabled.
+    for finding in _stale_suppressions(modules, raw):
+        if finding.rule not in disabled:
+            filtered.append(finding)
+
     reported, waived = baseline.apply(filtered)
     result.findings = sorted(reported)
     result.baselined = waived
     result.stale_baseline = baseline.stale_entries(filtered)
     result.suppressed.sort()
     return result
+
+
+def _stale_suppressions(
+    modules: Sequence[ModuleInfo], raw: Sequence[Finding]
+) -> List[Finding]:
+    """U101: inline disable comments that waive nothing anymore."""
+    fired: Dict[Tuple[str, int], Set[str]] = {}
+    for finding in raw:
+        fired.setdefault((finding.path, finding.line), set()).add(
+            finding.rule
+        )
+    findings: List[Finding] = []
+    for module in modules:
+        lines = module.lines()
+        for lineno, ids in sorted(module.suppressions.items()):
+            rules_here = fired.get((module.display_path, lineno), set())
+            line_text = lines[lineno - 1] if lineno <= len(lines) else ""
+            column = line_text.find("#") + 1 if "#" in line_text else 1
+            for rule_id in sorted(ids):
+                if rule_id == "all":
+                    stale = not rules_here
+                    detail = "no finding of any rule"
+                else:
+                    stale = rule_id not in rules_here
+                    detail = f"no {rule_id} finding"
+                if not stale:
+                    continue
+                findings.append(Finding(
+                    path=module.display_path,
+                    line=lineno,
+                    column=column,
+                    rule="U101",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"stale suppression: {detail} fires on this "
+                        "line anymore; drop the comment — like a stale "
+                        "baseline entry, a dead waiver can hide the "
+                        "next real regression"
+                    ),
+                    family="U1",
+                ))
+    return findings
 
 
 def _display(path: Path, root: Path) -> str:

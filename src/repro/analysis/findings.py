@@ -10,8 +10,12 @@ __all__ = ["Severity", "Finding"]
 
 
 def _family_of(rule: str) -> str:
-    """Family implied by a rule id: ``D101`` -> ``D1``, ``P001`` -> ``P``."""
-    if rule.startswith("P"):
+    """Family implied by a rule id: ``D101`` -> ``D1``, ``P001`` -> ``P``.
+
+    ``P001`` (parse failure) predates the P1 process-safety family and
+    keeps its historic one-letter family.
+    """
+    if rule == "P001":
         return "P"
     return rule[:2]
 

@@ -16,7 +16,12 @@ modules:
   registry *as written* without importing runtime code (T1),
 - **call graph** — name-level call edges, attribute writes, scheduled
   event callbacks, and value-referenced functions, from which the E1
-  event-discipline family computes reachability.
+  event-discipline family computes reachability,
+- **vector-safety facts** — per-function parameter lists, name reads,
+  explicit dtype mentions, in-loop scalar accumulations, and in-place
+  mutations of parameters (N1/B1), plus per-module mutable/RNG global
+  tables, process-pool dispatch sites and order-nondeterministic
+  result-combination sites (P1), and ``@batched_pair`` declarations (B1).
 
 Everything in the index is plain data (str/int/bool containers), so the
 whole index serialises to JSON.  :func:`load_or_build_index` uses that to
@@ -55,6 +60,13 @@ __all__ = [
     "ImportEdge",
     "FunctionInfo",
     "AttributeWrite",
+    "ParamMutation",
+    "AccumSite",
+    "DtypeMention",
+    "RngCall",
+    "PoolSite",
+    "UnorderedSite",
+    "BatchPairSite",
     "ProjectIndex",
     "build_index",
     "load_or_build_index",
@@ -63,10 +75,36 @@ __all__ = [
 
 #: Bumped whenever the index shape changes; stale on-disk caches with a
 #: different version are rebuilt, never reinterpreted.
-INDEX_VERSION = 1
+INDEX_VERSION = 2
 
 #: Receiver path segments that mark state as sim-owned for the E1 family.
 SIM_OWNED_SEGMENTS = ("system", "microservice", "microservices", "cluster")
+
+#: Literal float-dtype tokens the N1 family tracks.
+DTYPE_TOKENS = frozenset({"float16", "float32", "float64", "float128"})
+
+#: Pool/executor dispatch methods whose first argument is the worker.
+POOL_DISPATCH_METHODS = frozenset({
+    "map", "submit", "imap", "imap_unordered", "apply_async", "starmap",
+})
+
+#: numpy wrappers that return (a view of) their argument unchanged when it
+#: is already an ndarray — rebinding through them preserves aliasing.
+ALIAS_PRESERVING_CALLS = frozenset({
+    "asarray", "asanyarray", "ascontiguousarray",
+    "atleast_1d", "atleast_2d", "atleast_3d",
+})
+
+#: Call targets whose result is module-level RNG state when bound at top
+#: level (``_RNG = np.random.default_rng()``).
+RNG_FACTORY_NAMES = frozenset({
+    "default_rng", "RandomState", "Generator", "SeedSequence",
+    "RngStream", "Random",
+})
+
+#: Generator constructors whose *argument-less* form seeds from the OS —
+#: nondeterministic by construction (P103 raw material).
+RNG_CONSTRUCTOR_NAMES = frozenset({"default_rng", "RandomState", "Random"})
 
 
 @dataclass
@@ -133,6 +171,99 @@ class AttributeWrite:
 
 
 @dataclass
+class ParamMutation:
+    """One in-place write to a function parameter (N103 raw material)."""
+
+    line: int
+    column: int
+    param: str
+    #: ``augassign`` (``x += ...``), ``subscript`` (``x[...] = ...`` or
+    #: ``x[...] += ...``), ``out`` (``out=x`` keyword), ``copyto``
+    #: (``np.copyto(x, ...)``).
+    kind: str
+
+
+@dataclass
+class AccumSite:
+    """One in-loop ``name += ...`` accumulation on a plain local name."""
+
+    line: int
+    column: int
+    name: str
+
+
+@dataclass
+class DtypeMention:
+    """One literal float-dtype token (``np.float32``, ``"float64"``)."""
+
+    line: int
+    column: int
+    name: str
+
+
+@dataclass
+class RngCall:
+    """One RNG constructor call (``default_rng``, ``RandomState``, ...)."""
+
+    line: int
+    column: int
+    name: str
+    #: False when called with no arguments at all — OS-entropy seeded.
+    seeded: bool
+
+
+@dataclass
+class PoolSite:
+    """One pool/executor dispatch (``pool.map(fn, ...)``) or
+    ``Process(target=fn)`` construction."""
+
+    path: str
+    line: int
+    column: int
+    module: str
+    #: Dispatch method: ``map``, ``submit``, ..., or ``Process``.
+    method: str
+    receiver: Optional[str]
+    #: Simple name of the worker callable; None when unresolvable.
+    worker: Optional[str]
+    #: ``name`` | ``attribute`` | ``lambda`` | ``other`` | ``missing``.
+    worker_form: str
+    #: Qualified enclosing scope; "" at module level.
+    function: str
+
+
+@dataclass
+class UnorderedSite:
+    """One completion-order iteration site (``as_completed``,
+    ``imap_unordered``) — results arrive in nondeterministic order."""
+
+    path: str
+    line: int
+    column: int
+    module: str
+    name: str
+    function: str
+
+
+@dataclass
+class BatchPairSite:
+    """One ``@batched_pair("serial")`` declaration, read from source."""
+
+    path: str
+    line: int
+    column: int
+    module: str
+    #: Directly enclosing class; "" for free functions.
+    class_name: str
+    batch_name: str
+    #: Declared serial twin's simple name; None for a non-constant
+    #: argument (left unchecked).
+    serial_name: Optional[str]
+    #: Positional parameter names of the batch function, in order.
+    batch_params: List[str] = field(default_factory=list)
+
+
+@dataclass
 class FunctionInfo:
     """One function or method definition."""
 
@@ -147,6 +278,19 @@ class FunctionInfo:
     calls: List[str] = field(default_factory=list)
     writes: List[AttributeWrite] = field(default_factory=list)
     decorated: bool = False
+    #: Positional parameter names, in order (posonly + regular).
+    params: List[str] = field(default_factory=list)
+    #: Sorted plain names this function reads (Name loads).
+    reads: List[str] = field(default_factory=list)
+    dtype_mentions: List[DtypeMention] = field(default_factory=list)
+    accum_loops: List[AccumSite] = field(default_factory=list)
+    #: Sorted local names ever assigned a float constant (``total = 0.0``).
+    float_names: List[str] = field(default_factory=list)
+    param_mutations: List[ParamMutation] = field(default_factory=list)
+    #: Sorted parameters rebound to a fresh object (alias broken) before
+    #: any analysis question matters; excluded from mutation findings.
+    rebound_params: List[str] = field(default_factory=list)
+    rng_calls: List[RngCall] = field(default_factory=list)
 
 
 @dataclass
@@ -173,6 +317,14 @@ class ProjectIndex:
     value_refs: List[str] = field(default_factory=list)
     #: Simple names called from module top-level code.
     toplevel_calls: List[str] = field(default_factory=list)
+    pool_sites: List[PoolSite] = field(default_factory=list)
+    unordered_sites: List[UnorderedSite] = field(default_factory=list)
+    batch_pairs: List[BatchPairSite] = field(default_factory=list)
+    #: module -> sorted top-level names bound to mutable literals
+    #: (list/dict/set), excluding ALL_CAPS constant registries.
+    mutable_globals: Dict[str, List[str]] = field(default_factory=dict)
+    #: module -> sorted top-level names bound to RNG factory calls.
+    rng_globals: Dict[str, List[str]] = field(default_factory=dict)
 
     # Serialisation --------------------------------------------------------
     def to_dict(self) -> Dict:
@@ -201,19 +353,63 @@ class ProjectIndex:
                 calls=list(f["calls"]),
                 writes=[AttributeWrite(**w) for w in f["writes"]],
                 decorated=f["decorated"],
+                params=list(f["params"]),
+                reads=list(f["reads"]),
+                dtype_mentions=[
+                    DtypeMention(**d) for d in f["dtype_mentions"]
+                ],
+                accum_loops=[AccumSite(**a) for a in f["accum_loops"]],
+                float_names=list(f["float_names"]),
+                param_mutations=[
+                    ParamMutation(**m) for m in f["param_mutations"]
+                ],
+                rebound_params=list(f["rebound_params"]),
+                rng_calls=[RngCall(**r) for r in f["rng_calls"]],
             )
             for f in data["functions"]
         ]
         index.scheduled_callbacks = list(data["scheduled_callbacks"])
         index.value_refs = list(data["value_refs"])
         index.toplevel_calls = list(data["toplevel_calls"])
+        index.pool_sites = [PoolSite(**s) for s in data["pool_sites"]]
+        index.unordered_sites = [
+            UnorderedSite(**s) for s in data["unordered_sites"]
+        ]
+        index.batch_pairs = [
+            BatchPairSite(
+                path=b["path"],
+                line=b["line"],
+                column=b["column"],
+                module=b["module"],
+                class_name=b["class_name"],
+                batch_name=b["batch_name"],
+                serial_name=b["serial_name"],
+                batch_params=list(b["batch_params"]),
+            )
+            for b in data["batch_pairs"]
+        ]
+        index.mutable_globals = {
+            k: list(v) for k, v in data["mutable_globals"].items()
+        }
+        index.rng_globals = {
+            k: list(v) for k, v in data["rng_globals"].items()
+        }
         return index
 
 
-def project_digest(project: Project) -> str:
-    """Content digest over every module; the index cache key."""
+def project_digest(project: Project, fingerprint: str = "") -> str:
+    """Content digest over every module; the index cache key.
+
+    ``fingerprint`` folds analysis configuration into the key (see
+    :meth:`LintConfig.fingerprint`) so a ``[tool.reprolint]`` change
+    invalidates the cache even when no source changed.
+    """
     hasher = hashlib.sha256()
     hasher.update(f"v{INDEX_VERSION}".encode())
+    if fingerprint:
+        hasher.update(b"\x02")
+        hasher.update(fingerprint.encode("utf-8", errors="replace"))
+        hasher.update(b"\x03")
     for module in sorted(project.modules, key=lambda m: m.display_path):
         hasher.update(module.display_path.encode())
         hasher.update(b"\x00")
@@ -222,9 +418,9 @@ def project_digest(project: Project) -> str:
     return hasher.hexdigest()
 
 
-def build_index(project: Project) -> ProjectIndex:
+def build_index(project: Project, fingerprint: str = "") -> ProjectIndex:
     """Extract the whole-project index from parsed modules."""
-    index = ProjectIndex(digest=project_digest(project))
+    index = ProjectIndex(digest=project_digest(project, fingerprint))
     scheduled: Set[str] = set()
     value_refs: Set[str] = set()
     toplevel_calls: Set[str] = set()
@@ -238,10 +434,69 @@ def build_index(project: Project) -> ProjectIndex:
                                  toplevel_calls)
         visitor.visit(module.tree)
         _extract_schema_registry(module, index)
+        _extract_global_tables(module, index)
     index.scheduled_callbacks = sorted(scheduled)
     index.value_refs = sorted(value_refs)
     index.toplevel_calls = sorted(toplevel_calls)
     return index
+
+
+def _extract_global_tables(module: ModuleInfo, index: ProjectIndex) -> None:
+    """Record module-level mutable literals and RNG factory bindings."""
+    if not module.module:
+        return
+    mutable: Set[str] = set()
+    rng: Set[str] = set()
+    for node in module.tree.body:
+        targets: List[str] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            targets = [node.target.id]
+            value = node.value
+        if not targets or value is None:
+            continue
+        if _is_mutable_literal(value):
+            # ALL_CAPS registries and dunders (__all__) are constants by
+            # convention; a lowercase mutable global is the hazard.
+            mutable.update(
+                t for t in targets
+                if t.upper() != t and not t.startswith("__")
+            )
+        if _is_rng_factory(value):
+            rng.update(targets)
+    if mutable:
+        index.mutable_globals[module.module] = sorted(mutable)
+    if rng:
+        index.rng_globals[module.module] = sorted(rng)
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee is not None and callee.split(".")[-1] in (
+            "list", "dict", "set", "defaultdict", "deque", "Counter",
+            "OrderedDict",
+        ):
+            return True
+    return False
+
+
+def _is_rng_factory(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    callee = dotted_name(node.func)
+    return (
+        callee is not None
+        and callee.split(".")[-1] in RNG_FACTORY_NAMES
+    )
 
 
 # Imports ------------------------------------------------------------------
@@ -376,18 +631,26 @@ class _ModuleVisitor(ast.NodeVisitor):
         self.value_refs = value_refs
         self.toplevel_calls = toplevel_calls
         self.scope: List[str] = []          # class/function name stack
+        self.scope_kinds: List[str] = []    # "class" / "func", parallel
         self.function_stack: List[FunctionInfo] = []
+        #: Per-function scratch sets finalised into FunctionInfo on exit.
+        self._fn_aux: List[Dict[str, Set[str]]] = []
         self.loop_depth = 0
         self.in_default = 0
 
     # Scope tracking -------------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self.scope.append(node.name)
+        self.scope_kinds.append("class")
         self.generic_visit(node)
+        self.scope_kinds.pop()
         self.scope.pop()
 
     def _visit_function(self, node) -> None:
         qualname = ".".join(self.scope + [node.name])
+        params = [
+            a.arg for a in node.args.posonlyargs + node.args.args
+        ]
         info = FunctionInfo(
             path=self.module.display_path,
             line=node.lineno,
@@ -396,8 +659,10 @@ class _ModuleVisitor(ast.NodeVisitor):
             qualname=qualname,
             name=node.name,
             decorated=bool(node.decorator_list),
+            params=params,
         )
         self.index.functions.append(info)
+        self._record_batch_pair(node, params)
         # Defaults evaluate in the *enclosing* scope, at def time.
         self.in_default += 1
         for default in list(node.args.defaults) + [
@@ -408,13 +673,62 @@ class _ModuleVisitor(ast.NodeVisitor):
         for decorator in node.decorator_list:
             self.visit(decorator)
         self.scope.append(node.name)
+        self.scope_kinds.append("func")
         self.function_stack.append(info)
+        self._fn_aux.append({
+            "reads": set(), "stores": set(),
+            "floats": set(), "rebound": set(),
+        })
         outer_loop_depth, self.loop_depth = self.loop_depth, 0
-        for stmt in node.body:
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]  # docstrings are not dtype mentions
+        for stmt in body:
             self.visit(stmt)
         self.loop_depth = outer_loop_depth
+        aux = self._fn_aux.pop()
+        info.reads = sorted(
+            aux["reads"] - aux["stores"] - set(info.params)
+        )
+        info.float_names = sorted(aux["floats"])
+        info.rebound_params = sorted(aux["rebound"])
         self.function_stack.pop()
+        self.scope_kinds.pop()
         self.scope.pop()
+
+    def _record_batch_pair(self, node, params: List[str]) -> None:
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            if _simple_call_name(decorator.func) != "batched_pair":
+                continue
+            serial: Optional[str] = None
+            if decorator.args:
+                first = decorator.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    serial = first.value
+            class_name = (
+                self.scope[-1]
+                if self.scope_kinds and self.scope_kinds[-1] == "class"
+                else ""
+            )
+            self.index.batch_pairs.append(BatchPairSite(
+                path=self.module.display_path,
+                line=decorator.lineno,
+                column=decorator.col_offset + 1,
+                module=self.module.module,
+                class_name=class_name,
+                batch_name=node.name,
+                serial_name=serial,
+                batch_params=list(params),
+            ))
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)
@@ -451,11 +765,67 @@ class _ModuleVisitor(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._record_write(target, node)
+            self._note_name_binding(target, node)
+            self._note_param_subscript(target, node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._record_write(node.target, node)
+        if self.function_stack:
+            info = self.function_stack[-1]
+            target = node.target
+            if isinstance(target, ast.Name):
+                self._fn_aux[-1]["stores"].add(target.id)
+                if self.loop_depth > 0 and isinstance(
+                    node.op, (ast.Add, ast.Sub, ast.Mult)
+                ):
+                    info.accum_loops.append(AccumSite(
+                        line=node.lineno,
+                        column=node.col_offset + 1,
+                        name=target.id,
+                    ))
+                if target.id in info.params:
+                    info.param_mutations.append(ParamMutation(
+                        line=node.lineno,
+                        column=node.col_offset + 1,
+                        param=target.id,
+                        kind="augassign",
+                    ))
+            else:
+                self._note_param_subscript(target, node)
         self.generic_visit(node)
+
+    def _note_name_binding(self, target: ast.AST, node: ast.Assign) -> None:
+        """Track float-constant locals and alias-breaking param rebinds."""
+        if not self.function_stack or not isinstance(target, ast.Name):
+            return
+        info = self.function_stack[-1]
+        aux = self._fn_aux[-1]
+        if isinstance(node.value, ast.Constant) and isinstance(
+            node.value.value, float
+        ):
+            aux["floats"].add(target.id)
+        if target.id in info.params and not _alias_preserving_rebind(
+            node.value, target.id
+        ):
+            aux["rebound"].add(target.id)
+
+    def _note_param_subscript(self, target: ast.AST, node: ast.AST) -> None:
+        """``param[...] = ...`` / ``param[...] += ...`` slice-assignment."""
+        if not self.function_stack:
+            return
+        info = self.function_stack[-1]
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in info.params
+        ):
+            info.param_mutations.append(ParamMutation(
+                line=node.lineno,
+                column=node.col_offset + 1,
+                param=target.value.id,
+                kind="subscript",
+            ))
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
@@ -481,13 +851,137 @@ class _ModuleVisitor(ast.NodeVisitor):
                 self._record_fork(node)
             elif simple == "emit":
                 self._record_emit(node)
+        self._record_call_mutations(node, simple)
+        self._record_pool_or_unordered(node, simple)
         # Function references passed as arguments are callback roots.
         for arg in list(node.args) + [kw.value for kw in node.keywords]:
             self._record_value_ref(arg)
         self.generic_visit(node)
 
+    def _record_call_mutations(
+        self, node: ast.Call, simple: Optional[str]
+    ) -> None:
+        """``np.copyto(param, ...)`` and ``out=param`` parameter writes."""
+        if not self.function_stack:
+            return
+        info = self.function_stack[-1]
+        if (
+            simple == "copyto"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in info.params
+        ):
+            info.param_mutations.append(ParamMutation(
+                line=node.lineno,
+                column=node.col_offset + 1,
+                param=node.args[0].id,
+                kind="copyto",
+            ))
+        for kw in node.keywords:
+            if (
+                kw.arg == "out"
+                and isinstance(kw.value, ast.Name)
+                and kw.value.id in info.params
+            ):
+                info.param_mutations.append(ParamMutation(
+                    line=kw.value.lineno,
+                    column=kw.value.col_offset + 1,
+                    param=kw.value.id,
+                    kind="out",
+                ))
+        if simple in RNG_CONSTRUCTOR_NAMES:
+            info.rng_calls.append(RngCall(
+                line=node.lineno,
+                column=node.col_offset + 1,
+                name=simple,
+                seeded=bool(node.args or node.keywords),
+            ))
+
+    def _record_pool_or_unordered(
+        self, node: ast.Call, simple: Optional[str]
+    ) -> None:
+        function = (
+            self.function_stack[-1].qualname if self.function_stack else ""
+        )
+        if simple in ("as_completed", "imap_unordered"):
+            self.index.unordered_sites.append(UnorderedSite(
+                path=self.module.display_path,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                module=self.module.module,
+                name=simple,
+                function=function,
+            ))
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in POOL_DISPATCH_METHODS
+        ):
+            receiver = receiver_key(node.func.value)
+            low = (receiver or "").lower()
+            if "pool" in low or "executor" in low:
+                worker, form = _worker_descriptor(
+                    node.args[0] if node.args else None
+                )
+                self.index.pool_sites.append(PoolSite(
+                    path=self.module.display_path,
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    module=self.module.module,
+                    method=node.func.attr,
+                    receiver=receiver,
+                    worker=worker,
+                    worker_form=form,
+                    function=function,
+                ))
+        elif simple == "Process":
+            target = next(
+                (kw.value for kw in node.keywords if kw.arg == "target"),
+                None,
+            )
+            if target is None:
+                return
+            worker, form = _worker_descriptor(target)
+            self.index.pool_sites.append(PoolSite(
+                path=self.module.display_path,
+                line=node.lineno,
+                column=node.col_offset + 1,
+                module=self.module.module,
+                method="Process",
+                receiver=None,
+                worker=worker,
+                worker_form=form,
+                function=function,
+            ))
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if self.function_stack:
+            aux = self._fn_aux[-1]
+            if isinstance(node.ctx, ast.Load):
+                aux["reads"].add(node.id)
+                if node.id in DTYPE_TOKENS:
+                    self._record_dtype(node, node.id)
+            else:
+                aux["stores"].add(node.id)
+
     def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in DTYPE_TOKENS and self.function_stack:
+            self._record_dtype(node, node.attr)
         self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            self.function_stack
+            and isinstance(node.value, str)
+            and node.value in DTYPE_TOKENS
+        ):
+            self._record_dtype(node, node.value)
+
+    def _record_dtype(self, node: ast.AST, name: str) -> None:
+        self.function_stack[-1].dtype_mentions.append(DtypeMention(
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            name=name,
+        ))
 
     def _record_value_ref(self, node: ast.AST) -> None:
         if isinstance(node, ast.Attribute):
@@ -568,6 +1062,34 @@ def _simple_call_name(func: ast.AST) -> Optional[str]:
     return None
 
 
+def _alias_preserving_rebind(value: ast.AST, name: str) -> bool:
+    """True for ``x = np.asarray(x, ...)``-style rebinds that may keep
+    ``x`` aliasing the caller's array (mutation findings stay live)."""
+    if not isinstance(value, ast.Call):
+        return False
+    callee = dotted_name(value.func)
+    if callee is None or callee.split(".")[-1] not in ALIAS_PRESERVING_CALLS:
+        return False
+    return bool(
+        value.args
+        and isinstance(value.args[0], ast.Name)
+        and value.args[0].id == name
+    )
+
+
+def _worker_descriptor(node: Optional[ast.AST]):
+    """``(simple name, form)`` for a callable handed to a pool."""
+    if node is None:
+        return None, "missing"
+    if isinstance(node, ast.Name):
+        return node.id, "name"
+    if isinstance(node, ast.Attribute):
+        return node.attr, "attribute"
+    if isinstance(node, ast.Lambda):
+        return None, "lambda"
+    return None, "other"
+
+
 def _write_target(target: ast.AST) -> Optional[str]:
     """Dotted description of an attribute-chain write target, else None."""
     suffix = ""
@@ -585,16 +1107,19 @@ def _write_target(target: ast.AST) -> Optional[str]:
 # Cache --------------------------------------------------------------------
 
 def load_or_build_index(
-    project: Project, cache_path: Optional[Path] = None
+    project: Project,
+    cache_path: Optional[Path] = None,
+    fingerprint: str = "",
 ) -> ProjectIndex:
     """Return the index for ``project``, via the on-disk cache if valid.
 
     The cache is keyed by :func:`project_digest`; any source edit, file
-    addition, or removal changes the digest and forces a rebuild.  Cache
-    IO failures (corrupt file, permissions) silently fall back to a
+    addition, removal, or (via ``fingerprint``) ``[tool.reprolint]``
+    config change alters the digest and forces a rebuild.  Cache IO
+    failures (corrupt file, permissions) silently fall back to a
     rebuild — the cache is an optimisation, never a correctness input.
     """
-    digest = project_digest(project)
+    digest = project_digest(project, fingerprint)
     if cache_path is not None and cache_path.exists():
         try:
             data = json.loads(cache_path.read_text(encoding="utf-8"))
@@ -605,7 +1130,7 @@ def load_or_build_index(
                 return ProjectIndex.from_dict(data)
         except (ValueError, KeyError, TypeError):
             pass
-    index = build_index(project)
+    index = build_index(project, fingerprint)
     if cache_path is not None:
         try:
             cache_path.parent.mkdir(parents=True, exist_ok=True)

@@ -8,9 +8,14 @@ resolve ``from repro.x import y`` re-exports to the definition of ``y``.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Shape of a real rule id (``D102``, ``N101``); anything else in a
+#: disable comment is treated as prose, not a waiver.
+_RULE_ID_RE = re.compile(r"[A-Z]+[0-9]{3}")
 
 __all__ = [
     "ModuleInfo",
@@ -211,8 +216,13 @@ def _scan_suppressions(source: str) -> Dict[int, frozenset]:
         if not directive.startswith("disable="):
             continue
         rules = directive[len("disable="):].split()[0]
+        # Only rule-id-shaped tokens (``D102``, ``N101``) or the ``all``
+        # wildcard count: prose that merely *mentions* ``disable=R1,R2``
+        # (docstrings, this very function) must not register waivers —
+        # they would instantly go stale under U101.
         ids = frozenset(
-            r.strip() for r in rules.split(",") if r.strip()
+            r.strip() for r in rules.split(",")
+            if r.strip() == "all" or _RULE_ID_RE.fullmatch(r.strip())
         )
         if ids:
             result[lineno] = ids

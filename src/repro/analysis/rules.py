@@ -59,6 +59,11 @@ class Checker:
     family: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: True when check() resolves names across the whole Project (other
+    #: modules' trees).  Such checkers must run in the parent process
+    #: under ``--jobs N``; the rest see one module at a time and can be
+    #: farmed out to workers with a single-module Project.
+    needs_project: bool = False
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
         """Yield findings for one module."""
@@ -396,6 +401,9 @@ class ApiConsistencyChecker(Checker):
         "package __init__ exports must resolve (A101), carry docstrings "
         "(A102) and be listed in __all__ (A103)"
     )
+    # Resolves re-export chains through other modules' trees, so it must
+    # see the full Project (parent process under --jobs N).
+    needs_project = True
 
     _MAX_CHAIN = 8
 
@@ -583,4 +591,9 @@ def rule_table() -> List[Tuple[str, str, str]]:
             rows.append((checker.rule_id, checker.family, checker.description))
     rows.extend(project_rule_rows())
     rows.append(("P001", "P", "file could not be parsed (syntax error)"))
+    rows.append((
+        "U101", "U1",
+        "inline `# reprolint: disable` comment no longer matches any "
+        "finding on its line; drop it so real regressions stay visible",
+    ))
     return rows

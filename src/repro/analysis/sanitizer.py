@@ -13,6 +13,14 @@ agree on one invariant set:
   record an enabled :class:`~repro.telemetry.tracer.Tracer` emits is run
   through :func:`repro.telemetry.records.validate_record` before it
   reaches the sink, so schema drift fails at the emitting call site.
+- **Batch-pair contracts** (static B1/N1): while active, every call
+  through a function registered with
+  :func:`repro.utils.batchpairs.batched_pair` is routed through a guard
+  that (a) rejects mixed float32/float64 array arguments, (b) pins the
+  floating dtype of the result per pair — silent promotion between calls
+  raises, and (c) hashes every array argument before and after the call,
+  so in-place mutation leaking across the registered boundary fails at
+  the exact call site the static N103 pass could not prove.
 
 Activation is explicit and reversible::
 
@@ -73,6 +81,11 @@ class SanitizerState:
         self.records_validated: int = 0
         #: Collisions/violations raised while active (for reporting).
         self.violations: int = 0
+        #: Guarded batch-pair calls while active, by BatchPair.key.
+        self.pair_calls: Counter = Counter()
+        #: BatchPair.key -> floating result dtype pinned by the first
+        #: guarded call; later drift raises.
+        self.pair_dtypes: dict = {}
         #: Streams whose per-instance label registry we populated, so
         #: reset() can clear them (weakrefs: never prolong lifetimes).
         self._touched: List[weakref.ref] = []
@@ -81,6 +94,8 @@ class SanitizerState:
         self.fork_names.clear()
         self.records_validated = 0
         self.violations = 0
+        self.pair_calls.clear()
+        self.pair_dtypes.clear()
         for ref in self._touched:
             stream = ref()
             if stream is not None and hasattr(stream, _FORKED_ATTR):
@@ -111,8 +126,13 @@ def activate() -> None:
     if is_active():
         return
 
+    import hashlib
+
+    import numpy as np
+
     from repro.telemetry.records import validate_record
     from repro.telemetry.tracer import Tracer
+    from repro.utils import batchpairs
     from repro.utils.rng import RngStream
 
     state.reset()
@@ -157,8 +177,68 @@ def activate() -> None:
             state.records_validated += 1
         return original_emit(self, kind, **fields)
 
+    def array_fingerprint(value):
+        """(dtype, shape, content hash) for ndarrays; None otherwise."""
+        if not isinstance(value, np.ndarray):
+            return None
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(value).tobytes(), digest_size=16
+        ).hexdigest()
+        return str(value.dtype), value.shape, digest
+
+    def batch_pair_guard(pair, fn, args, kwargs):
+        arrays = [
+            (label, value)
+            for label, value in (
+                [(f"arg{i}", a) for i, a in enumerate(args)]
+                + sorted(kwargs.items())
+            )
+            if isinstance(value, np.ndarray)
+        ]
+        float_dtypes = {
+            str(a.dtype) for _, a in arrays
+            if np.issubdtype(a.dtype, np.floating)
+        }
+        if len(float_dtypes) > 1:
+            state.violations += 1
+            raise SanitizerError(
+                f"batch-pair dtype mix: {pair.batch_qualname} received "
+                f"arrays of {sorted(float_dtypes)}; arithmetic between "
+                "them promotes silently (static rule N101 catches the "
+                "constant cases) — align the dtypes before the call"
+            )
+        before = [(label, array_fingerprint(a)) for label, a in arrays]
+        result = fn(*args, **kwargs)
+        for (label, prior), (_, value) in zip(before, arrays):
+            if array_fingerprint(value) != prior:
+                state.violations += 1
+                raise SanitizerError(
+                    f"batch-pair mutation: {pair.batch_qualname} "
+                    f"modified array argument `{label}` in place; the "
+                    "caller's data changed across the registered "
+                    "boundary (static rule N103 catches the provable "
+                    "cases) — operate on a copy"
+                )
+        if isinstance(result, np.ndarray) and np.issubdtype(
+            result.dtype, np.floating
+        ):
+            pinned = state.pair_dtypes.setdefault(
+                pair.key, str(result.dtype)
+            )
+            if str(result.dtype) != pinned:
+                state.violations += 1
+                raise SanitizerError(
+                    f"batch-pair dtype drift: {pair.batch_qualname} "
+                    f"returned {result.dtype} after earlier calls "
+                    f"returned {pinned}; the serial/batch equivalence "
+                    "contract assumes a stable dtype"
+                )
+        state.pair_calls[pair.key] += 1
+        return result
+
     RngStream.fork = checked_fork
     Tracer.emit = checked_emit
+    batchpairs.set_runtime_guard(batch_pair_guard)
 
 
 def deactivate() -> None:
@@ -168,10 +248,12 @@ def deactivate() -> None:
         return
 
     from repro.telemetry.tracer import Tracer
+    from repro.utils import batchpairs
     from repro.utils.rng import RngStream
 
     RngStream.fork = _original_fork
     Tracer.emit = _original_emit
+    batchpairs.clear_runtime_guard()
     _original_fork = None
     _original_emit = None
 

@@ -15,6 +15,7 @@ what full-information reactive allocation achieves on this substrate.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -71,16 +72,16 @@ class OracleAllocator(Allocator):
         ``task`` in this workflow instance."""
         seen = set()
         stack = [task]
-        total = 0.0
         while stack:
             current = stack.pop()
             for successor in workflow.successors(current):
                 if successor in seen or successor in completed:
                     continue
                 seen.add(successor)
-                total += self._service_times[successor]
                 stack.append(successor)
-        return total
+        # fsum is correctly rounded regardless of iteration order, so the
+        # set's hash-dependent ordering cannot perturb the result.
+        return math.fsum(self._service_times[s] for s in seen)
 
     def allocate(
         self,

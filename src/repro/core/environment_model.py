@@ -32,6 +32,7 @@ from repro.core.dataset import TransitionDataset
 from repro.nn import MLP, Adam, MeanSquaredError
 from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.utils.batchpairs import batched_pair
 from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_positive
 
@@ -219,6 +220,7 @@ class EnvironmentModel:
         decoded = self._decode_prediction(state2, y)
         return decoded[0] if single else decoded
 
+    @batched_pair("predict")
     def predict_batch(
         self, states: np.ndarray, actions: np.ndarray
     ) -> np.ndarray:

@@ -28,6 +28,7 @@ from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
 from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.utils.batchpairs import batched_pair
 from repro.utils.rng import RngStream, fallback_stream
 
 __all__ = ["RefinedModel"]
@@ -127,6 +128,7 @@ class RefinedModel:
             state[np.newaxis], np.atleast_2d(action)
         )[0]
 
+    @batched_pair("predict")
     def predict_batch(
         self, states: np.ndarray, actions: np.ndarray
     ) -> np.ndarray:

@@ -11,6 +11,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.utils.batchpairs import batched_pair
+
 __all__ = ["reward_eq1", "reward_eq1_batch", "cumulative_discounted_reward"]
 
 
@@ -22,6 +24,7 @@ def reward_eq1(wip: np.ndarray) -> float:
     return 1.0 - float(wip.sum())
 
 
+@batched_pair("reward_eq1")
 def reward_eq1_batch(wip: np.ndarray) -> np.ndarray:
     """Eq. (1) over a ``(K, state_dim)`` batch; returns ``(K,)`` rewards.
 

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.nn import MLP, Adam
+from repro.utils.batchpairs import batched_pair
 from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_positive
 
@@ -88,9 +89,11 @@ class Actor:
         action = network.predict(self.normalize(np.atleast_2d(state)))[0]
         return self._mix(action)
 
+    @batched_pair("act")
     def act_batch(
         self, states: np.ndarray, network: Optional[MLP] = None
     ) -> np.ndarray:
+        """Actions for a ``(K, state_dim)`` block; row k matches :meth:`act`."""
         network = network or self.network
         return self._mix(network.forward(self.normalize(states)))
 

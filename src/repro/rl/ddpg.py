@@ -31,6 +31,7 @@ from repro.rl.noise import (
 from repro.rl.replay import ReplayBuffer
 from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.utils.batchpairs import batched_pair
 from repro.utils.rng import RngStream, fallback_stream
 from repro.utils.validation import check_in_range, check_positive
 
@@ -220,6 +221,7 @@ class DDPGAgent:
             noisy = project_to_simplex(noisy)
         return noisy
 
+    @batched_pair("act")
     def act_batch(
         self, states: np.ndarray, explore: bool = True
     ) -> np.ndarray:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.batchpairs import batched_pair
 from repro.utils.rng import RngStream
 from repro.utils.validation import check_positive
 
@@ -47,6 +48,7 @@ def project_to_simplex(vector: np.ndarray) -> np.ndarray:
     return np.maximum(vector - theta, 0.0)
 
 
+@batched_pair("project_to_simplex")
 def project_to_simplex_batch(vectors: np.ndarray) -> np.ndarray:
     """Row-wise :func:`project_to_simplex` for a ``(K, dim)`` batch.
 
@@ -72,6 +74,7 @@ class GaussianActionNoise:
     def sample(self, action_dim: int, rng: RngStream) -> np.ndarray:
         return rng.normal(0.0, self.sigma, size=action_dim)
 
+    @batched_pair("sample")
     def sample_batch(
         self, batch: int, action_dim: int, rng: RngStream
     ) -> np.ndarray:
@@ -120,6 +123,7 @@ class OrnsteinUhlenbeckNoise:
         self._state = self._state + drift + diffusion
         return self._state.copy()
 
+    @batched_pair("sample")
     def sample_batch(
         self, batch: int, action_dim: int, rng: RngStream
     ) -> np.ndarray:

@@ -53,7 +53,7 @@ def _wall_clock() -> float:
 
 def _cpu_clock() -> float:
     """Sanctioned CPU-clock read for profiling (not simulation data)."""
-    return time.process_time()  # reprolint: disable=D102
+    return time.process_time()
 
 
 class PhaseNode:

@@ -1,5 +1,11 @@
-"""Shared utilities: seeded RNG streams, validation, running statistics."""
+"""Shared utilities: seeded RNG streams, validation, running statistics,
+and the serial/batch pair registry."""
 
+from repro.utils.batchpairs import (
+    BatchPair,
+    batched_pair,
+    registered_pairs,
+)
 from repro.utils.rng import (
     ReproducibilityWarning,
     RngStream,
@@ -18,6 +24,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "BatchPair",
+    "batched_pair",
+    "registered_pairs",
     "RngStream",
     "ReproducibilityWarning",
     "spawn_rngs",

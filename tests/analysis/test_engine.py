@@ -67,6 +67,8 @@ class TestSuppressions:
         assert len(result.suppressed) == 1
 
     def test_disable_on_other_line_does_not_leak(self, tmp_path):
+        # The misplaced waiver suppresses nothing, so the real finding
+        # fires — and the dead comment itself is reported as U101.
         path = tmp_path / "mod.py"
         path.write_text(src("""
             # reprolint: disable=S101
@@ -74,7 +76,7 @@ class TestSuppressions:
                 return cv == 0.0
         """), encoding="utf-8")
         result = run_analysis([path], config=LintConfig(root=tmp_path))
-        assert [f.rule for f in result.findings] == ["S101"]
+        assert [f.rule for f in result.findings] == ["U101", "S101"]
 
     def test_disable_other_rule_does_not_suppress(self, tmp_path):
         path = tmp_path / "mod.py"
@@ -83,7 +85,7 @@ class TestSuppressions:
                 return cv == 0.0  # reprolint: disable=D101
         """), encoding="utf-8")
         result = run_analysis([path], config=LintConfig(root=tmp_path))
-        assert [f.rule for f in result.findings] == ["S101"]
+        assert [f.rule for f in result.findings] == ["S101", "U101"]
 
 
 class TestConfig:

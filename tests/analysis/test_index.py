@@ -195,3 +195,76 @@ class TestDigestAndCache:
         project = write_project(tmp_path / "src", {"a.py": "x = 1\n"})
         index = load_or_build_index(project, cache_path=cache)
         assert index.symbols["a"] == ["x"]
+
+
+class TestConfigFingerprintKeying:
+    """The cache key folds in the lint config, not just the sources:
+    editing ``[tool.reprolint]`` must invalidate the cached index even
+    when no source file changed."""
+
+    def test_digest_changes_with_fingerprint(self, tmp_path):
+        project = write_project(tmp_path, {"a.py": "x = 1\n"})
+        assert (
+            project_digest(project, "fp-one")
+            != project_digest(project, "fp-two")
+        )
+        # Same fingerprint stays stable across calls.
+        assert (
+            project_digest(project, "fp-one")
+            == project_digest(project, "fp-one")
+        )
+
+    def test_config_change_forces_rebuild(self, tmp_path):
+        from repro.analysis.config import LintConfig
+
+        cache = tmp_path / "cache.json"
+        project = write_project(tmp_path / "src", {"a.py": "x = 1\n"})
+        base = LintConfig(root=tmp_path)
+        first = load_or_build_index(
+            project, cache_path=cache, fingerprint=base.fingerprint()
+        )
+
+        # Unchanged config: warm cache hit, digest stable.
+        warm = load_or_build_index(
+            project, cache_path=cache, fingerprint=base.fingerprint()
+        )
+        assert warm.digest == first.digest
+
+        # A [tool.reprolint] edit (here: hotpath_roots) changes the
+        # fingerprint, so the cached digest no longer matches and the
+        # index is rebuilt and re-persisted under the new key.
+        edited = LintConfig(root=tmp_path, hotpath_roots=["main"])
+        assert edited.fingerprint() != base.fingerprint()
+        rebuilt = load_or_build_index(
+            project, cache_path=cache, fingerprint=edited.fingerprint()
+        )
+        assert rebuilt.digest != first.digest
+        assert (
+            json.loads(cache.read_text(encoding="utf-8"))["digest"]
+            == rebuilt.digest
+        )
+
+    def test_fingerprint_covers_every_behavioural_knob(self, tmp_path):
+        from repro.analysis.config import LintConfig
+
+        base = LintConfig(root=tmp_path)
+        variants = [
+            LintConfig(root=tmp_path, disable=["S103"]),
+            LintConfig(root=tmp_path, paths=["src", "tests"]),
+            LintConfig(root=tmp_path, exclude=["vendored"]),
+            LintConfig(root=tmp_path, sim_packages=["repro.other"]),
+            LintConfig(root=tmp_path, hotpath_roots=["act"]),
+            LintConfig(root=tmp_path, layers={"core": []}),
+        ]
+        prints = {c.fingerprint() for c in variants}
+        assert base.fingerprint() not in prints
+        assert len(prints) == len(variants)
+
+    def test_fingerprint_ignores_cache_location(self, tmp_path):
+        # Where the cache lives must not key the cache: moving the file
+        # would otherwise always miss.
+        from repro.analysis.config import LintConfig
+
+        a = LintConfig(root=tmp_path, cache="one.json")
+        b = LintConfig(root=tmp_path, cache="two.json")
+        assert a.fingerprint() == b.fingerprint()

@@ -1,0 +1,166 @@
+"""Positive/negative coverage for the B1 (batch-pair contract) family."""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestB101MissingSerialTwin:
+    def test_flags_missing_module_level_twin(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            @batched_pair("predict")
+            def predict_batch(states):
+                return states
+        """))
+        assert "B101" in rules_of(findings)
+
+    def test_flags_twin_in_wrong_scope(self, lint):
+        # A module-level `predict` does not satisfy a class-scoped pair:
+        # the twin must live in the same scope as the batch function.
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def predict(state):
+                return state
+
+            class Model:
+                @batched_pair("predict")
+                def predict_batch(self, states):
+                    return states
+        """))
+        assert "B101" in rules_of(findings)
+
+    def test_module_level_pair_is_clean(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def predict(state):
+                return state
+
+            @batched_pair("predict")
+            def predict_batch(states):
+                return states
+        """))
+        assert "B101" not in rules_of(findings)
+
+    def test_class_scoped_pair_is_clean(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            class Model:
+                def predict(self, state, action):
+                    return state + action
+
+                @batched_pair("predict")
+                def predict_batch(self, states, actions):
+                    return states + actions
+        """))
+        assert rules_of(findings).isdisjoint({"B101", "B102"})
+
+
+class TestB102SignatureAlignment:
+    def test_flags_unrelated_parameter_name(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def predict(state, action):
+                return state + action
+
+            @batched_pair("predict")
+            def predict_batch(states, speeds):
+                return states + speeds
+        """))
+        assert "B102" in rules_of(findings)
+
+    def test_flags_arity_mismatch(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def predict(state, action):
+                return state + action
+
+            @batched_pair("predict")
+            def predict_batch(states):
+                return states
+        """))
+        assert "B102" in rules_of(findings)
+
+    def test_pluralised_names_align(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def project(vector, capacity):
+                return vector * capacity
+
+            @batched_pair("project")
+            def project_batch(vectors, capacities):
+                return vectors * capacities
+        """))
+        assert "B102" not in rules_of(findings)
+
+    def test_leading_batch_axis_is_dropped(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def sample(action_dim, rng):
+                return rng.standard_normal(action_dim)
+
+            @batched_pair("sample")
+            def sample_batch(batch, action_dim, rng):
+                return rng.standard_normal((batch, action_dim))
+        """))
+        assert "B102" not in rules_of(findings)
+
+
+class TestB103EquivalenceTestCoverage:
+    PAIR_MODULE = src("""
+        from repro.utils.batchpairs import batched_pair
+
+        def predict(state):
+            return state
+
+        @batched_pair("predict")
+        def predict_batch(states):
+            return states
+    """)
+
+    def test_flags_pair_without_test_reference(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/model.py": self.PAIR_MODULE,
+            "tests/test_other.py": src("""
+                def test_unrelated():
+                    return 1 + 1
+            """),
+        })
+        assert "B103" in rules_of(findings)
+
+    def test_referenced_pair_is_clean(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/model.py": self.PAIR_MODULE,
+            "tests/test_equivalence.py": src("""
+                from pkg.model import predict, predict_batch
+
+                def test_rows_match():
+                    batch = predict_batch([1.0, 2.0])
+                    serial = [predict(x) for x in [1.0, 2.0]]
+                    return batch == serial
+            """),
+        })
+        assert "B103" not in rules_of(findings)
+
+    def test_silent_when_no_tests_analysed(self, lint_package):
+        # Linting only the library tree must not demand tests it cannot
+        # see; B103 activates only when test files are in scope.
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/model.py": self.PAIR_MODULE,
+        })
+        assert "B103" not in rules_of(findings)

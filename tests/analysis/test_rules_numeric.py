@@ -1,0 +1,254 @@
+"""Positive/negative coverage for the N1 (numeric discipline) family."""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestN101MixedDtypes:
+    def test_flags_mixed_dtypes_in_one_function(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def convert(x):
+                a = np.asarray(x, dtype=np.float32)
+                b = np.asarray(x, dtype="float64")
+                return a + b
+        """))
+        assert "N101" in rules_of(findings)
+
+    def test_single_dtype_function_is_clean(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def convert(x):
+                a = np.asarray(x, dtype=np.float32)
+                b = np.zeros(3, dtype="float32")
+                return a + b
+        """))
+        assert "N101" not in rules_of(findings)
+
+    def test_flags_contradicting_call_edge(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def producer(x):
+                return np.asarray(x, dtype=np.float32)
+
+            def consumer(x):
+                y = np.asarray(x, dtype=np.float64)
+                return y + producer(x)
+        """))
+        assert "N101" in rules_of(findings)
+
+    def test_matching_call_edge_is_clean(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def producer(x):
+                return np.asarray(x, dtype=np.float64)
+
+            def consumer(x):
+                y = np.asarray(x, dtype=np.float64)
+                return y + producer(x)
+        """))
+        assert "N101" not in rules_of(findings)
+
+    def test_ambiguous_callee_set_stays_silent(self, lint_package):
+        # Two same-name callees pinning different dtypes: the edge is
+        # unknowable, so the checker must not guess.
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/a.py": src("""
+                import numpy as np
+
+                def make(x):
+                    return np.asarray(x, dtype=np.float64)
+            """),
+            "pkg/b.py": src("""
+                import numpy as np
+
+                def make(x):
+                    return np.asarray(x, dtype=np.float32)
+            """),
+            "pkg/c.py": src("""
+                import numpy as np
+
+                def consumer(x):
+                    y = np.asarray(x, dtype=np.float32)
+                    return y + make(x)
+            """),
+        })
+        assert "N101" not in rules_of(findings)
+
+
+class TestN102HotAccumulation:
+    HOT_LOOP = src("""
+        def step(values):
+            total = 0.0
+            for v in values:
+                total += v
+            return total
+    """)
+
+    def test_flags_float_accumulation_in_hot_root(self, lint):
+        assert "N102" in rules_of(lint(self.HOT_LOOP))
+
+    def test_flags_accumulation_reachable_through_calls(self, lint):
+        findings = lint(src("""
+            def step(values):
+                return tally(values)
+
+            def tally(values):
+                acc = 0.0
+                for v in values:
+                    acc += v
+                return acc
+        """))
+        assert "N102" in rules_of(findings)
+
+    def test_unreachable_function_is_clean(self, lint):
+        findings = lint(src("""
+            def offline_report(values):
+                total = 0.0
+                for v in values:
+                    total += v
+                return total
+        """))
+        assert "N102" not in rules_of(findings)
+
+    def test_integer_counter_is_clean(self, lint):
+        findings = lint(src("""
+            def step(values):
+                count = 0
+                for v in values:
+                    count += 1
+                return count
+        """))
+        assert "N102" not in rules_of(findings)
+
+    def test_custom_hotpath_roots_from_config(self, lint):
+        code = src("""
+            def main_loop(values):
+                total = 0.0
+                for v in values:
+                    total += v
+                return total
+        """)
+        assert "N102" not in rules_of(lint(code))
+        findings = lint(code, hotpath_roots=["main_loop"])
+        assert "N102" in rules_of(findings)
+
+
+class TestN103ParamAliasMutation:
+    def test_flags_augassign_on_param_called_cross_module(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/ops.py": src("""
+                def scale(arr):
+                    arr *= 2.0
+                    return arr
+            """),
+            "pkg/use.py": src("""
+                from pkg.ops import scale
+
+                def run(values):
+                    return scale(values)
+            """),
+        })
+        assert "N103" in rules_of(findings)
+
+    def test_flags_out_keyword_on_param(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/ops.py": src("""
+                import numpy as np
+
+                def shift(arr, delta):
+                    np.add(arr, delta, out=arr)
+                    return arr
+            """),
+            "pkg/use.py": src("""
+                from pkg.ops import shift
+
+                def run(values):
+                    return shift(values, 1.0)
+            """),
+        })
+        assert "N103" in rules_of(findings)
+
+    def test_copy_before_mutation_is_clean(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/ops.py": src("""
+                def scale(arr):
+                    arr = arr.copy()
+                    arr *= 2.0
+                    return arr
+            """),
+            "pkg/use.py": src("""
+                from pkg.ops import scale
+
+                def run(values):
+                    return scale(values)
+            """),
+        })
+        assert "N103" not in rules_of(findings)
+
+    def test_alias_preserving_rebind_stays_flagged(self, lint_package):
+        # np.asarray returns the same buffer for an ndarray input, so
+        # rebinding through it must not launder the mutation.
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/ops.py": src("""
+                import numpy as np
+
+                def scale(arr):
+                    arr = np.asarray(arr)
+                    arr *= 2.0
+                    return arr
+            """),
+            "pkg/use.py": src("""
+                from pkg.ops import scale
+
+                def run(values):
+                    return scale(values)
+            """),
+        })
+        assert "N103" in rules_of(findings)
+
+    def test_module_private_mutation_is_clean(self, lint_package):
+        # No other module imports pkg.ops, so the alias never escapes.
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/ops.py": src("""
+                def scale(arr):
+                    arr *= 2.0
+                    return arr
+
+                def run(values):
+                    return scale(values)
+            """),
+        })
+        assert "N103" not in rules_of(findings)
+
+    def test_self_mutation_is_clean(self, lint_package):
+        findings = lint_package({
+            "pkg/__init__.py": "",
+            "pkg/ops.py": src("""
+                class Accumulator:
+                    def absorb(self, x):
+                        self.total += x
+            """),
+            "pkg/use.py": src("""
+                from pkg.ops import Accumulator
+
+                def run(acc, x):
+                    return absorb(acc, x)
+            """),
+        })
+        assert "N103" not in rules_of(findings)

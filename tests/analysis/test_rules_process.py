@@ -1,0 +1,194 @@
+"""Positive/negative coverage for the P1 (process-safety) family."""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestP101WorkerForm:
+    def test_flags_lambda_worker(self, lint):
+        findings = lint(src("""
+            def run(pool, xs):
+                return list(pool.map(lambda x: x + 1, xs))
+        """))
+        assert "P101" in rules_of(findings)
+
+    def test_flags_bound_method_worker(self, lint):
+        findings = lint(src("""
+            class Worker:
+                def work(self, x):
+                    return x
+
+            def run(pool, w, xs):
+                return list(pool.map(w.work, xs))
+        """))
+        assert "P101" in rules_of(findings)
+
+    def test_flags_nested_function_worker(self, lint):
+        findings = lint(src("""
+            def run(pool, xs):
+                def work(x):
+                    return x + 1
+                return list(pool.map(work, xs))
+        """))
+        assert "P101" in rules_of(findings)
+
+    def test_module_level_worker_is_clean(self, lint):
+        findings = lint(src("""
+            def work(x):
+                return x + 1
+
+            def run(pool, xs):
+                return list(pool.map(work, xs))
+        """))
+        assert "P101" not in rules_of(findings)
+
+    def test_process_target_keyword_is_checked(self, lint):
+        findings = lint(src("""
+            from multiprocessing import Process
+
+            def run(xs):
+                p = Process(target=lambda: sum(xs))
+                p.start()
+        """))
+        assert "P101" in rules_of(findings)
+
+    def test_non_pool_receiver_is_ignored(self, lint):
+        # dict.map / arbitrary .submit on a non-pool receiver is not a
+        # process boundary; the checker keys off the receiver name.
+        findings = lint(src("""
+            def run(mapper, xs):
+                return list(mapper.map(lambda x: x, xs))
+        """))
+        assert "P101" not in rules_of(findings)
+
+
+class TestP102MutableGlobals:
+    def test_flags_worker_reading_mutable_global(self, lint):
+        findings = lint(src("""
+            cache = {}
+
+            def work(x):
+                return cache.get(x, x)
+
+            def run(pool, xs):
+                return list(pool.map(work, xs))
+        """))
+        assert "P102" in rules_of(findings)
+
+    def test_allcaps_constant_registry_is_clean(self, lint):
+        findings = lint(src("""
+            LIMITS = {"cpu": 4}
+
+            def work(x):
+                return LIMITS.get(x, x)
+
+            def run(pool, xs):
+                return list(pool.map(work, xs))
+        """))
+        assert "P102" not in rules_of(findings)
+
+    def test_payload_passed_state_is_clean(self, lint):
+        findings = lint(src("""
+            def work(task):
+                cache, x = task
+                return cache.get(x, x)
+
+            def run(pool, tasks):
+                return list(pool.map(work, tasks))
+        """))
+        assert "P102" not in rules_of(findings)
+
+
+class TestP103AmbientRng:
+    def test_flags_worker_reading_module_rng(self, lint):
+        findings = lint(src("""
+            from numpy.random import default_rng
+
+            rng = default_rng(0)
+
+            def work(x):
+                return x + rng.standard_normal()
+
+            def run(pool, xs):
+                return list(pool.map(work, xs))
+        """))
+        assert "P103" in rules_of(findings)
+
+    def test_flags_unseeded_generator_in_worker(self, lint):
+        findings = lint(src("""
+            from numpy.random import default_rng
+
+            def work(x):
+                rng = default_rng()
+                return x + rng.standard_normal()
+
+            def run(pool, xs):
+                return list(pool.map(work, xs))
+        """))
+        assert "P103" in rules_of(findings)
+
+    def test_task_derived_seed_is_clean(self, lint):
+        findings = lint(src("""
+            from numpy.random import default_rng
+
+            def work(task):
+                seed, x = task
+                rng = default_rng(seed)
+                return x + rng.standard_normal()
+
+            def run(pool, tasks):
+                return list(pool.map(work, tasks))
+        """))
+        assert "P103" not in rules_of(findings)
+
+    def test_unseeded_rng_outside_worker_is_clean(self, lint):
+        # The P1 family polices process boundaries; ambient-RNG use in
+        # ordinary code belongs to the D family.
+        findings = lint(src("""
+            from numpy.random import default_rng
+
+            def sample(x):
+                rng = default_rng()
+                return x + rng.standard_normal()
+        """))
+        assert "P103" not in rules_of(findings)
+
+
+class TestP104CompletionOrder:
+    def test_flags_as_completed(self, lint):
+        findings = lint(src("""
+            from concurrent.futures import as_completed
+
+            def work(x):
+                return x
+
+            def run(executor, tasks):
+                futures = [executor.submit(work, t) for t in tasks]
+                return [f.result() for f in as_completed(futures)]
+        """))
+        assert "P104" in rules_of(findings)
+
+    def test_flags_imap_unordered(self, lint):
+        findings = lint(src("""
+            def work(x):
+                return x
+
+            def run(pool, xs):
+                return list(pool.imap_unordered(work, xs))
+        """))
+        assert "P104" in rules_of(findings)
+
+    def test_ordered_map_is_clean(self, lint):
+        findings = lint(src("""
+            def work(x):
+                return x
+
+            def run(executor, xs):
+                return list(executor.map(work, xs))
+        """))
+        assert "P104" not in rules_of(findings)
