@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.dataset import TransitionDataset
 from repro.core.environment_model import EnvironmentModel
 from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.sim.batched import BatchedWorkflowSystem
 from repro.sim.system import MicroserviceWorkflowSystem, SystemConfig
 from repro.telemetry import MemorySink, Tracer
 from repro.utils.rng import RngStream
@@ -18,8 +19,8 @@ from repro.workload import PoissonArrivalProcess
 from repro.workload.bursts import MSD_BACKGROUND_RATES
 
 
-def _loaded_system(tracer=None):
-    system = MicroserviceWorkflowSystem(
+def _loaded_system(tracer=None, cls=MicroserviceWorkflowSystem):
+    system = cls(
         build_msd_ensemble(),
         SystemConfig(consumer_budget=14),
         seed=0,
@@ -58,6 +59,42 @@ def test_simulator_window_throughput_traced(benchmark):
     benchmark(system.run_window)
     assert system.conservation_ok()
     assert len(sink) > 0
+
+
+def test_batched_window_throughput(benchmark):
+    """Batched-substrate twin of ``test_simulator_window_throughput``.
+
+    Same paper-scale workload on ``BatchedWorkflowSystem``; at 14
+    consumers the speedup is modest (the batched substrate pays its
+    per-window setup on tiny windows) but any regression in the batched
+    per-event path shows up here without the minutes-long serial
+    baseline that benchmarks/run_substrate_bench.py needs for the
+    production-scale gate.
+    """
+    system = _loaded_system(cls=BatchedWorkflowSystem)
+
+    benchmark(system.run_window)
+    assert system.conservation_ok()
+
+
+def test_batched_window_throughput_loaded(benchmark):
+    """Batched substrate at a consumer budget where batching pays.
+
+    512 consumers and a 4,000-workflow burst: the serial substrate's
+    O(consumers) dispatch scan makes this scale painful, so only the
+    batched system is benchmarked (run_substrate_bench.py measures the
+    serial/batched pair and gates the speedup).
+    """
+    system = BatchedWorkflowSystem(
+        build_msd_ensemble(),
+        SystemConfig(consumer_budget=512, window_length=60.0),
+        seed=0,
+    )
+    system.apply_allocation([176, 176, 112, 48])
+    system.inject_burst({"Type1": 2000, "Type2": 1000, "Type3": 1000})
+
+    benchmark(system.run_window)
+    assert system.conservation_ok()
 
 
 def test_environment_model_training_step(benchmark):

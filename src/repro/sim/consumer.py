@@ -14,18 +14,27 @@ from __future__ import annotations
 import enum
 import itertools
 import math
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from repro.sim.events import EventHandle
 from repro.sim.queueing import DeliveryTag
 from repro.sim.requests import TaskRequest
+from repro.utils.batchpairs import batched_pair
 from repro.utils.validation import isclose_zero
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.cluster import Node
     from repro.sim.microservice import Microservice
 
-__all__ = ["Consumer", "ConsumerState", "sample_service_time"]
+__all__ = [
+    "Consumer",
+    "ConsumerState",
+    "sample_service_time",
+    "sample_service_times",
+    "lognormal_params",
+]
 
 _consumer_ids = itertools.count()
 
@@ -37,6 +46,21 @@ class ConsumerState(enum.Enum):
     IDLE = "idle"
     BUSY = "busy"
     STOPPED = "stopped"
+
+
+def lognormal_params(mean: float, cv: float) -> Tuple[float, float]:
+    """``(mu, sigma)`` of the lognormal with the given mean and CV.
+
+    Shared by the serial and batched service-time samplers so both
+    parameterise the distribution with bit-identical doubles.
+    """
+    if mean <= 0:
+        raise ValueError(f"mean service time must be positive, got {mean!r}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv!r}")
+    sigma_sq = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma_sq / 2.0
+    return mu, math.sqrt(sigma_sq)
 
 
 def sample_service_time(mean: float, cv: float, rng) -> float:
@@ -52,9 +76,32 @@ def sample_service_time(mean: float, cv: float, rng) -> float:
         raise ValueError(f"cv must be non-negative, got {cv!r}")
     if isclose_zero(cv):
         return mean
-    sigma_sq = math.log(1.0 + cv * cv)
-    mu = math.log(mean) - sigma_sq / 2.0
-    return float(rng.lognormal(mean=mu, sigma=math.sqrt(sigma_sq)))
+    mu, sigma = lognormal_params(mean, cv)
+    return float(rng.lognormal(mean=mu, sigma=sigma))
+
+
+@batched_pair("sample_service_time")
+def sample_service_times(batch: int, mean: float, cv: float, rng) -> np.ndarray:
+    """``batch`` lognormal service times in one draw; shape ``(batch,)``.
+
+    Draw ``k`` is bit-identical to the ``k``-th serial
+    :func:`sample_service_time` call on the same stream, and the
+    generator state afterwards matches ``batch`` serial draws exactly
+    (numpy's sized draws consume the bit generator identically to the
+    same number of scalar draws) — the property the batched substrate's
+    prefetching relies on.  ``cv=0`` degenerates to the mean and, like
+    the serial path, draws nothing.
+    """
+    if batch < 0:
+        raise ValueError(f"batch must be non-negative, got {batch}")
+    if mean <= 0:
+        raise ValueError(f"mean service time must be positive, got {mean!r}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv!r}")
+    if isclose_zero(cv):
+        return np.full(batch, mean, dtype=np.float64)
+    mu, sigma = lognormal_params(mean, cv)
+    return rng.lognormal(mean=mu, sigma=sigma, size=batch)
 
 
 class Consumer:

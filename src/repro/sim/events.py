@@ -9,14 +9,29 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
 
-__all__ = ["EventLoop", "EventHandle"]
+__all__ = [
+    "EventLoop",
+    "EventHandle",
+    "TypedEventLoop",
+    "TypedEventHandle",
+    "EVENT_FINISH",
+    "EVENT_READY",
+    "EVENT_CALLBACK",
+]
 
 #: Phase name under which event dispatch is attributed when profiling.
 DISPATCH_PHASE = "sim/dispatch"
+
+#: Typed-event kinds of :class:`TypedEventLoop`.  Integer tags instead of
+#: closures keep the hot path free of per-event allocation: a task-finish
+#: or consumer-ready event is five machine words on the heap.
+EVENT_FINISH = 0
+EVENT_READY = 1
+EVENT_CALLBACK = 2
 
 
 class EventHandle:
@@ -133,3 +148,239 @@ class EventLoop:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EventLoop(now={self._now:.3f}, pending={self.pending})"
+
+
+class TypedEventHandle:
+    """Cancellation handle for a :class:`TypedEventLoop` event.
+
+    API-compatible with :class:`EventHandle` (``cancel()`` plus a
+    ``cancelled`` flag) so arrival processes and chaos injectors work
+    against either loop.
+    """
+
+    __slots__ = ("_loop", "_token", "cancelled")
+
+    def __init__(self, loop: "TypedEventLoop", token: int):
+        self._loop = loop
+        self._token = token
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._loop.cancel(self._token)
+
+
+class TypedEventLoop:
+    """Deterministic event loop over typed ``(time, seq, kind, a, b)`` rows.
+
+    Drop-in for :class:`EventLoop` on the batched substrate.  Two hot
+    event kinds — task finish (:data:`EVENT_FINISH`) and consumer ready
+    (:data:`EVENT_READY`) — carry ``(microservice index, consumer slot)``
+    integer payloads and dispatch through two executors bound once at
+    construction, so the per-event cost is a heap pop plus one call: no
+    closure allocation, no handle object.  Arbitrary callbacks
+    (:data:`EVENT_CALLBACK`, used by arrival processes and the chaos
+    injector) ride the same heap.
+
+    Determinism contract (identical to :class:`EventLoop`): ties in time
+    break by insertion order ``seq``; cancelled events are skipped
+    without counting toward ``processed``.  The sequence counter is
+    shared by every kind, so a batched run schedules the same ``seq``
+    values as the serial run it mirrors.
+
+    The loop additionally tracks how many callback/ready events are
+    pending and whether any cancellation is outstanding — the
+    preconditions the vectorised window fast path of
+    :class:`repro.sim.batched.BatchedWorkflowSystem` checks before it
+    bypasses the heap (see docs/SIMULATOR.md).
+    """
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        profiler: Optional[PhaseProfiler] = None,
+    ):
+        self._now = start_time
+        # Rows: (when, seq, kind, a, b).  ``seq`` is unique, so tuple
+        # comparison never reaches the payload and callables can ride in
+        # slot ``a`` safely.
+        self._heap: List[Tuple[float, int, int, object, int]] = []
+        self._seq_next = 0
+        self._processed = 0
+        self._cancelled: Set[int] = set()
+        self._ready_pending = 0
+        self._callback_pending = 0
+        self._on_finish: Optional[Callable[[int, int], None]] = None
+        self._on_ready: Optional[Callable[[int, int], None]] = None
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+
+    def bind_executors(
+        self,
+        on_finish: Callable[[int, int], None],
+        on_ready: Callable[[int, int], None],
+    ) -> None:
+        """Install the two typed-event executors (once, at wiring time)."""
+        self._on_finish = on_finish
+        self._on_ready = on_ready
+
+    # Introspection -----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def only_finish_events_pending(self) -> bool:
+        """True when the heap holds nothing but live task-finish events.
+
+        This is the fast-path gate: no arrival/chaos callbacks, no
+        consumer activations, and no cancelled rows awaiting lazy
+        removal — every pending row is a ``(ms, slot)`` finish whose
+        timing the vectorised window replay can reproduce exactly.
+        """
+        return (
+            self._callback_pending == 0
+            and self._ready_pending == 0
+            and not self._cancelled
+        )
+
+    # Scheduling --------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> TypedEventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], None]
+    ) -> TypedEventHandle:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (when={when!r}, now={self._now!r})"
+            )
+        seq = self._seq_next
+        self._seq_next = seq + 1
+        self._callback_pending += 1
+        heapq.heappush(self._heap, (when, seq, EVENT_CALLBACK, callback, 0))
+        return TypedEventHandle(self, seq)
+
+    def schedule_finish(self, delay: float, ms_index: int, slot: int) -> int:
+        """Schedule a task-finish event; returns its cancellation token."""
+        seq = self._seq_next
+        self._seq_next = seq + 1
+        heapq.heappush(
+            self._heap, (self._now + delay, seq, EVENT_FINISH, ms_index, slot)
+        )
+        return seq
+
+    def schedule_ready(self, delay: float, ms_index: int, slot: int) -> int:
+        """Schedule a consumer-ready event; returns its cancellation token."""
+        seq = self._seq_next
+        self._seq_next = seq + 1
+        self._ready_pending += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, seq, EVENT_READY, ms_index, slot)
+        )
+        return seq
+
+    def cancel(self, token: int) -> None:
+        """Cancel a scheduled event by token (lazy removal on pop)."""
+        self._cancelled.add(token)
+
+    # Execution ---------------------------------------------------------
+    def run_until(self, when: float, max_events: Optional[int] = None) -> int:
+        """Execute all events with timestamp <= ``when``; advance the clock.
+
+        Semantics match :meth:`EventLoop.run_until`: events fire in
+        ``(time, seq)`` order, cancelled rows are dropped without
+        counting, and ``max_events`` guards against runaway loops.
+        """
+        if self.profiler.enabled and self._heap and self._heap[0][0] <= when:
+            with self.profiler.phase(DISPATCH_PHASE):
+                return self._run_until(when, max_events)
+        return self._run_until(when, max_events)
+
+    def _run_until(self, when: float, max_events: Optional[int]) -> int:
+        if when < self._now:
+            raise ValueError(
+                f"cannot run backwards (when={when!r}, now={self._now!r})"
+            )
+        executed = 0
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and heap[0][0] <= when:
+            event_time, seq, kind, a, b = heapq.heappop(heap)
+            if seq in cancelled:
+                cancelled.discard(seq)
+                if kind == EVENT_READY:
+                    self._ready_pending -= 1
+                elif kind == EVENT_CALLBACK:
+                    self._callback_pending -= 1
+                continue
+            self._now = event_time
+            if kind == EVENT_FINISH:
+                self._on_finish(a, b)
+            elif kind == EVENT_READY:
+                self._ready_pending -= 1
+                self._on_ready(a, b)
+            else:
+                self._callback_pending -= 1
+                a()
+            executed += 1
+            self._processed += 1
+            if max_events is not None and executed > max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events} before reaching t={when}"
+                )
+        self._now = when
+        return executed
+
+    # Fast-path surface --------------------------------------------------
+    # The vectorised window replay (repro.sim.batched) pops every due
+    # finish event, re-simulates the window arithmetically, and commits
+    # the result back through these three methods.  They are only legal
+    # while ``only_finish_events_pending`` holds — the caller checks.
+    def pop_due_finish_events(
+        self, when: float
+    ) -> List[Tuple[float, int, int, int]]:
+        """Pop all finish events with timestamp <= ``when``, heap-ordered."""
+        heap = self._heap
+        due: List[Tuple[float, int, int, int]] = []
+        while heap and heap[0][0] <= when:
+            event_time, seq, _kind, ms_index, slot = heapq.heappop(heap)
+            due.append((event_time, seq, ms_index, slot))
+        return due
+
+    def push_finish_event(
+        self, when: float, seq: int, ms_index: int, slot: int
+    ) -> None:
+        """Re-insert a finish event with an explicit sequence number."""
+        heapq.heappush(self._heap, (when, seq, EVENT_FINISH, ms_index, slot))
+
+    def commit_fast_window(self, when: float, executed: int, seqs: int) -> None:
+        """Advance clock and counters for a vectorised window replay.
+
+        ``executed`` events were replayed arithmetically and ``seqs``
+        sequence numbers consumed — exactly what the exact loop would
+        have popped and allocated event by event.
+        """
+        self._now = when
+        self._processed += executed
+        self._seq_next += seqs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TypedEventLoop(now={self._now:.3f}, pending={self.pending})"

@@ -34,7 +34,13 @@ def crash_one_consumer(microservice: Microservice) -> bool:
     in-flight request is nacked (redelivered, never lost) and a fresh
     container is launched to restore the allocation, paying the usual
     start-up latency.  Returns False when there is nothing to crash.
+
+    Works on either substrate: a batched microservice carries its own
+    :meth:`repro.sim.microservice.BatchedMicroservice.crash_one` twin
+    with identical victim choice and event order.
     """
+    if hasattr(microservice, "crash_one"):
+        return microservice.crash_one()
     victim: Optional = None
     for state in (ConsumerState.BUSY, ConsumerState.IDLE):
         for consumer in microservice.consumers:

@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.utils.batchpairs import batched_pair
+
 __all__ = ["WindowObservation", "DelayByArrivalWindow", "reward_from_wip"]
 
 
@@ -106,6 +108,16 @@ class DelayByArrivalWindow:
 
     def record_arrival(self, window_index: int, workflow_type: str) -> None:
         self._arrived[(window_index, workflow_type)] += 1
+
+    @batched_pair("record_arrival")
+    def record_arrivals(
+        self, count: int, window_index: int, workflow_type: str
+    ) -> None:
+        """Record ``count`` arrivals at once (burst submission path)."""
+        if count < 0:
+            raise ValueError(f"arrival count must be non-negative, got {count}")
+        if count:
+            self._arrived[(window_index, workflow_type)] += count
 
     def record_completion(
         self, arrival_window: int, workflow_type: str, delay: float

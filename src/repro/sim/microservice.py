@@ -25,22 +25,40 @@ queue and a set of consumers subscribing to the queue to handle requests"
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, List, Optional, Tuple
 
 from repro.sim.cluster import Cluster
-from repro.sim.consumer import Consumer, ConsumerState, sample_service_time
-from repro.sim.events import EventLoop
-from repro.sim.queueing import AckQueue
-from repro.sim.requests import TaskRequest
+from repro.sim.consumer import (
+    Consumer,
+    ConsumerState,
+    lognormal_params,
+    sample_service_time,
+)
+from repro.sim.events import EventLoop, TypedEventLoop
+from repro.sim.queueing import AckQueue, IndexFifo
+from repro.sim.requests import RequestPool, TaskRequest
+from repro.sim.substrate import PrefetchStream
 from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.utils.batchpairs import batched_pair
 from repro.utils.rng import RngStream
-from repro.utils.validation import require
+from repro.utils.validation import isclose_zero, require
 from repro.workflows.dag import TaskType
 
-__all__ = ["Microservice"]
+__all__ = ["Microservice", "BatchedMicroservice", "BatchedQueueView"]
 
 #: Called with (task_request, completion_time) when a task finishes.
 TaskCompletionCallback = Callable[[TaskRequest, float], None]
+
+#: Called with (task_index, completion_time) on the batched substrate.
+BatchedTaskCompletionCallback = Callable[[int, float], None]
+
+# Consumer lifecycle states of the batched substrate, as the same strings
+# serial ``ConsumerState.value`` yields — snapshots compare directly.
+_STARTING = "starting"
+_IDLE = "idle"
+_BUSY = "busy"
+_STOPPED = "stopped"
 
 
 class Microservice:
@@ -265,5 +283,457 @@ class Microservice:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Microservice({self.name!r}, consumers={self.allocated}, "
+            f"wip={self.wip})"
+        )
+
+
+class BatchedQueueView:
+    """:class:`repro.sim.queueing.AckQueue`-shaped introspection facade.
+
+    The batched microservice keeps its queue as an :class:`IndexFifo`
+    plus plain counters; this view exposes the same read-only surface
+    (``published_total``, ``depth``, ``conservation_ok()``, ...) so code
+    written against ``ms.queue`` — the system's window accounting,
+    conservation checks and tests — works on either substrate.
+    """
+
+    __slots__ = ("_ms",)
+
+    def __init__(self, ms: "BatchedMicroservice"):
+        self._ms = ms
+
+    @property
+    def name(self) -> str:
+        return self._ms.name
+
+    @property
+    def published_total(self) -> int:
+        return self._ms.published_total
+
+    @property
+    def acked_total(self) -> int:
+        return self._ms.acked_total
+
+    @property
+    def redelivered_total(self) -> int:
+        return self._ms.redelivered_total
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ms.fifo)
+
+    @property
+    def unacked_count(self) -> int:
+        return self._ms.unacked
+
+    @property
+    def depth(self) -> int:
+        return len(self._ms.fifo) + self._ms.unacked
+
+    def conservation_ok(self) -> bool:
+        """published == acked + ready + unacked (no message ever lost)."""
+        return self._ms.published_total == (
+            self._ms.acked_total + self.ready_count + self._ms.unacked
+        )
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchedQueueView({self.name!r}, ready={self.ready_count}, "
+            f"unacked={self.unacked_count})"
+        )
+
+
+class BatchedMicroservice:
+    """Array-backed queue + consumer pool, event-for-event equal to
+    :class:`Microservice`.
+
+    Consumers are integer *slots* (birth ordinals — the same run-local
+    ids serial consumers carry as ``trace_id``) indexing parallel state
+    lists; the queue holds task indices into a shared
+    :class:`repro.sim.requests.RequestPool`.  Every mutation happens at
+    the same point, in the same order, with the same RNG draws as the
+    serial twin, so same-seed runs produce byte-identical traces and
+    equal :func:`repro.sim.substrate.substrate_snapshot` results
+    (docs/SIMULATOR.md states the contract; the pinning suite is
+    tests/sim/test_batched_substrate.py).
+
+    Ordering invariants the implementation leans on:
+
+    - slots are appended in increasing order and removals preserve
+      order, so ``order`` (the live-consumer list) is always sorted —
+      "first starting/idle consumer in list order" becomes a min-heap
+      pop, and the serial kill fallback ``consumers[-1]`` is
+      ``order[-1]``;
+    - the idle/starting heaps use lazy invalidation: entries whose slot
+      state moved on are discarded at pop time;
+    - service-time and startup draws interleave on the per-microservice
+      stream exactly as serially, via :class:`PrefetchStream`.
+    """
+
+    def __init__(
+        self,
+        task_type: TaskType,
+        index: int,
+        loop: TypedEventLoop,
+        cluster: Cluster,
+        rng: RngStream,
+        pool: RequestPool,
+        on_task_complete: BatchedTaskCompletionCallback,
+        startup_delay_range: Tuple[float, float] = (5.0, 10.0),
+        scale_down_mode: str = "drain",
+        tracer: Optional[Tracer] = None,
+    ):
+        low, high = startup_delay_range
+        if not 0 <= low <= high:
+            raise ValueError(
+                f"bad startup_delay_range {startup_delay_range!r}"
+            )
+        if scale_down_mode not in ("drain", "kill"):
+            raise ValueError(
+                f"scale_down_mode must be 'drain' or 'kill', "
+                f"got {scale_down_mode!r}"
+            )
+        self.task_type = task_type
+        #: Position in the system's microservice list (event payload id).
+        self.index = index
+        self.loop = loop
+        self.cluster = cluster
+        self.rng = rng
+        self.pool = pool
+        self.on_task_complete = on_task_complete
+        self.startup_delay_range = startup_delay_range
+        self.scale_down_mode = scale_down_mode
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.prefetch = PrefetchStream(rng)
+        mean, cv = task_type.mean_service_time, task_type.cv
+        if mean <= 0:
+            raise ValueError(
+                f"mean service time must be positive, got {mean!r}"
+            )
+        if cv < 0:
+            raise ValueError(f"cv must be non-negative, got {cv!r}")
+        if isclose_zero(cv):
+            self._fixed_service: Optional[float] = mean
+            self._mu = 0.0
+            self._sigma = 0.0
+        else:
+            self._fixed_service = None
+            self._mu, self._sigma = lognormal_params(mean, cv)
+
+        self.fifo = IndexFifo()
+        self.queue = BatchedQueueView(self)
+        self.published_total = 0
+        self.acked_total = 0
+        self.redelivered_total = 0
+        self.unacked = 0
+        # Per-slot consumer tables (index = slot = birth ordinal).
+        self.state: List[str] = []
+        self.created_at: List[float] = []
+        self.current_task: List[int] = []
+        self.processing_started: List[float] = []
+        self.slot_busy_time: List[float] = []
+        self.slot_tasks_completed: List[int] = []
+        self.node: List = []
+        self.pending_token: List[int] = []
+        #: Live slots in serial ``consumers``-list order (always sorted).
+        self.order: List[int] = []
+        #: Busy slots finishing their last task before exiting.
+        self.draining: List[int] = []
+        self._idle_heap: List[int] = []
+        self._starting_heap: List[int] = []
+        # Lifetime counters (names match the serial twin).
+        self.tasks_completed = 0
+        self.consumers_killed_busy = 0
+        self.consumers_killed_starting = 0
+        self.consumers_started = 0
+
+    @property
+    def name(self) -> str:
+        return self.task_type.name
+
+    # Scaling -------------------------------------------------------------
+    @property
+    def allocated(self) -> int:
+        """Current consumer count (the paper's m_j)."""
+        return len(self.order)
+
+    def scale_to(self, target: int) -> None:
+        """Adjust the consumer pool to exactly ``target`` containers."""
+        if target < 0:
+            raise ValueError(f"consumer count must be >= 0, got {target}")
+        while self.allocated < target:
+            self._start_consumer()
+        while self.allocated > target:
+            self._remove_one_consumer()
+
+    def _start_consumer(self) -> None:
+        node = self.cluster.place()
+        slot = self.consumers_started
+        self.state.append(_STARTING)
+        self.created_at.append(self.loop.now)
+        self.current_task.append(-1)
+        self.processing_started.append(0.0)
+        self.slot_busy_time.append(0.0)
+        self.slot_tasks_completed.append(0)
+        self.node.append(node)
+        self.pending_token.append(-1)
+        self.order.append(slot)
+        heapq.heappush(self._starting_heap, slot)
+        self.consumers_started += 1
+        low, high = self.startup_delay_range
+        delay = self.prefetch.uniform(low, high) if high > 0 else 0.0
+        self.pending_token[slot] = self.loop.schedule_ready(
+            delay, self.index, slot
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.consumer_start",
+                service=self.name,
+                consumer_id=slot,
+                node=node.node_id,
+                startup_delay=delay,
+            )
+
+    def on_ready(self, slot: int) -> None:
+        """Consumer-ready event executor (start-up delay elapsed)."""
+        if self.state[slot] != _STARTING:
+            return  # was killed while starting; activation already cancelled
+        self.state[slot] = _IDLE
+        self.pending_token[slot] = -1
+        heapq.heappush(self._idle_heap, slot)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.consumer_ready",
+                service=self.name,
+                consumer_id=slot,
+                startup_latency=self.loop.now - self.created_at[slot],
+            )
+        self._dispatch()
+
+    def _remove_one_consumer(self) -> None:
+        """Remove the cheapest consumer: starting > idle > busy."""
+        victim = self._pick_victim()
+        state = self.state[victim]
+        if state == _BUSY and self.scale_down_mode == "drain":
+            # Graceful termination: finish the in-flight task, then exit.
+            # The consumer leaves the allocation count immediately.
+            self.order.remove(victim)
+            self.draining.append(victim)
+            self._trace_stop(victim, "drain")
+            return
+        token = self.pending_token[victim]
+        if token >= 0:
+            self.loop.cancel(token)
+            self.pending_token[victim] = -1
+        if state == _STARTING:
+            self.consumers_killed_starting += 1
+            self._trace_stop(victim, "cancel-starting")
+        elif state == _BUSY:
+            self._trace_stop(victim, "kill")
+        else:
+            self._trace_stop(victim, "idle")
+        if state == _BUSY:
+            # Kill mode: the in-flight request is redelivered; elapsed
+            # work is wasted.
+            task = self.current_task[victim]
+            require(task >= 0, "busy consumer has no in-flight request")
+            elapsed = self.loop.now - self.processing_started[victim]
+            self.pool.task_wasted_work[task] += elapsed
+            self._nack(task)
+            self.current_task[victim] = -1
+            self.consumers_killed_busy += 1
+        self.state[victim] = _STOPPED
+        self.order.remove(victim)
+        self.cluster.release(self.node[victim])
+
+    def _pick_victim(self) -> int:
+        victim = self._peek_live(self._starting_heap, _STARTING)
+        if victim < 0:
+            victim = self._peek_live(self._idle_heap, _IDLE)
+        if victim < 0:
+            victim = self.order[-1]  # newest busy consumer
+        return victim
+
+    def _peek_live(self, heap: List[int], state: str) -> int:
+        """Smallest slot in ``heap`` still in ``state`` (lazy cleanup)."""
+        while heap and self.state[heap[0]] != state:
+            heapq.heappop(heap)
+        return heap[0] if heap else -1
+
+    def _pop_idle(self) -> int:
+        heap = self._idle_heap
+        while heap:
+            slot = heapq.heappop(heap)
+            if self.state[slot] == _IDLE:
+                return slot
+        return -1
+
+    def crash_one(self) -> bool:
+        """Crash one busy (else idle) consumer and start a replacement.
+
+        Batched twin of :func:`repro.sim.faults.crash_one_consumer`'s
+        serial body, with identical victim choice and event order.
+        """
+        victim = -1
+        for state in (_BUSY, _IDLE):
+            for slot in self.order:
+                if self.state[slot] == state:
+                    victim = slot
+                    break
+            if victim >= 0:
+                break
+        if victim < 0:
+            return False
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.fault", fault="consumer_crash", target=self.name
+            )
+        token = self.pending_token[victim]
+        if token >= 0:
+            self.loop.cancel(token)
+            self.pending_token[victim] = -1
+        if self.state[victim] == _BUSY:
+            task = self.current_task[victim]
+            require(task >= 0, "busy consumer has no in-flight request")
+            elapsed = self.loop.now - self.processing_started[victim]
+            self.pool.task_wasted_work[task] += elapsed
+            self._nack(task)
+            self.current_task[victim] = -1
+            self.consumers_killed_busy += 1
+        self.state[victim] = _STOPPED
+        self.order.remove(victim)
+        self.cluster.release(self.node[victim])
+        # Replacement container (restores the allocation m_j).
+        self._start_consumer()
+        return True
+
+    def _trace_stop(self, slot: int, mode: str) -> None:
+        """Emit a container-removal event (no-op when tracing is off)."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.consumer_stop",
+                service=self.name,
+                consumer_id=slot,
+                mode=mode,
+            )
+
+    # Queue side ----------------------------------------------------------
+    def publish(self, task: int) -> None:
+        """Enqueue one task index and wake idle consumers."""
+        self.fifo.push(task)
+        self.published_total += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.publish", queue=self.name, depth=self.wip
+            )
+        self._dispatch()
+
+    @batched_pair("publish")
+    def publish_many(self, tasks) -> None:
+        """Enqueue a batch of task indices, then dispatch once.
+
+        One dispatch pass after a bulk append pairs messages with idle
+        consumers in exactly the order per-message publishes would have
+        (oldest message to lowest idle slot, same draw order), so this
+        is publish-for-publish equivalent to the serial loop — except
+        for per-publish trace events, which is why the burst path only
+        takes it when tracing is off.
+        """
+        self.fifo.push_many(tasks)
+        self.published_total += len(tasks)
+        self._dispatch()
+
+    def _nack(self, task: int) -> None:
+        """Redeliver an unacked task at the front of the queue."""
+        self.unacked -= 1
+        self.fifo.push_front(task)
+        self.redelivered_total += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.redeliver", queue=self.name, depth=self.wip
+            )
+        self._dispatch()
+
+    # Processing ----------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Hand ready messages to idle consumers (push delivery)."""
+        fifo = self.fifo
+        pool = self.pool
+        loop = self.loop
+        while len(fifo):
+            slot = self._pop_idle()
+            if slot < 0:
+                return
+            task = fifo.pop()
+            pool.task_deliveries[task] += 1
+            self.unacked += 1
+            self.state[slot] = _BUSY
+            self.current_task[slot] = task
+            self.processing_started[slot] = loop.now
+            if self._fixed_service is not None:
+                service_time = self._fixed_service
+            else:
+                service_time = self.prefetch.lognormal(self._mu, self._sigma)
+            self.pending_token[slot] = loop.schedule_finish(
+                service_time, self.index, slot
+            )
+
+    def on_finished(self, slot: int) -> None:
+        """Task-finish event executor."""
+        if self.state[slot] != _BUSY:
+            return  # killed before finishing; nack already handled it
+        task = self.current_task[slot]
+        require(task >= 0, "finished consumer has no in-flight request")
+        self.unacked -= 1
+        self.acked_total += 1
+        now = self.loop.now
+        service_time = now - self.processing_started[slot]
+        self.slot_tasks_completed[slot] += 1
+        self.slot_busy_time[slot] += service_time
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "event.task_complete",
+                service=self.name,
+                service_time=service_time,
+            )
+        self.current_task[slot] = -1
+        self.pending_token[slot] = -1
+        self.tasks_completed += 1
+        if slot in self.draining:
+            # Terminating pod: its last task is done; release the slot.
+            self.state[slot] = _STOPPED
+            self.draining.remove(slot)
+            self.cluster.release(self.node[slot])
+            self._trace_stop(slot, "drained")
+        else:
+            self.state[slot] = _IDLE
+            heapq.heappush(self._idle_heap, slot)
+        self.on_task_complete(task, now)
+        self._dispatch()
+
+    # Introspection -------------------------------------------------------
+    @property
+    def wip(self) -> int:
+        """Work-in-progress w_j: queued + in-processing requests."""
+        return len(self.fifo) + self.unacked
+
+    @property
+    def busy_consumers(self) -> int:
+        return sum(1 for s in self.order if self.state[s] == _BUSY)
+
+    @property
+    def starting_consumers(self) -> int:
+        return sum(1 for s in self.order if self.state[s] == _STARTING)
+
+    def has_idle(self) -> bool:
+        """True when at least one consumer is idle right now."""
+        return self._peek_live(self._idle_heap, _IDLE) >= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchedMicroservice({self.name!r}, consumers={self.allocated}, "
             f"wip={self.wip})"
         )

@@ -127,10 +127,11 @@ class MicroserviceWorkflowSystem:
         #: default.  Profiler output is wall-clock measurement and lives
         #: outside the trace-determinism contract.
         self.profiler = profiler if profiler is not None else NULL_PROFILER
-        self.loop = EventLoop(profiler=self.profiler)
         #: Telemetry tracer shared by every component of this system;
         #: defaults to the disabled NULL_TRACER (near-zero overhead).
         #: Timestamps come from the simulation clock, never wall time.
+        #: The clock binding is late: the lambda reads ``self.loop``,
+        #: which :meth:`_build_substrate` assigns below.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind_clock(lambda: self.loop.now)
         #: Called with each WindowObservation at the end of run_window()
@@ -154,24 +155,7 @@ class MicroserviceWorkflowSystem:
         self.tds = TaskDependencyService(
             ensemble, replicas=self.config.tds_replicas
         )
-        self.microservices: Dict[str, Microservice] = {}
-        for task_type in ensemble.task_types:
-            self.microservices[task_type.name] = Microservice(
-                task_type,
-                loop=self.loop,
-                cluster=self.cluster,
-                rng=self._rngs["service_times"].fork(task_type.name),
-                on_task_complete=self._on_task_complete,
-                startup_delay_range=self.config.startup_delay_range,
-                scale_down_mode=self.config.scale_down_mode,
-                tracer=self.tracer,
-            )
-        self.invoker = WorkflowInvoker(
-            self.loop,
-            self.tds,
-            {name: ms.queue for name, ms in self.microservices.items()},
-            on_workflow_complete=self._on_workflow_complete,
-        )
+        self._build_substrate()
 
         self.window_index = 0
         self.delay_tracker = DelayByArrivalWindow()
@@ -188,6 +172,37 @@ class MicroserviceWorkflowSystem:
         # process, which would break trace byte-reproducibility.
         self._requests_traced = 0
         self._trace_request_ids: Dict[int, int] = {}
+
+    # Substrate wiring ----------------------------------------------------
+    def _build_substrate(self) -> None:
+        """Create the event loop, microservices and invoker.
+
+        Template method: :class:`repro.sim.batched.BatchedWorkflowSystem`
+        overrides this to install the array-backed substrate while every
+        other wiring step (cluster, TDS, RNG streams, tracer binding)
+        stays shared.  The two substrates must fork per-microservice RNG
+        streams in the same ``ensemble.task_types`` order — fork order,
+        not fork label, determines stream identity.
+        """
+        self.loop = EventLoop(profiler=self.profiler)
+        self.microservices: Dict[str, Microservice] = {}
+        for task_type in self.ensemble.task_types:
+            self.microservices[task_type.name] = Microservice(
+                task_type,
+                loop=self.loop,
+                cluster=self.cluster,
+                rng=self._rngs["service_times"].fork(task_type.name),
+                on_task_complete=self._on_task_complete,
+                startup_delay_range=self.config.startup_delay_range,
+                scale_down_mode=self.config.scale_down_mode,
+                tracer=self.tracer,
+            )
+        self.invoker = WorkflowInvoker(
+            self.loop,
+            self.tds,
+            {name: ms.queue for name, ms in self.microservices.items()},
+            on_workflow_complete=self._on_workflow_complete,
+        )
 
     # Workload interface -------------------------------------------------
     @property
@@ -291,11 +306,20 @@ class MicroserviceWorkflowSystem:
             dtype=np.float64,
         )
 
+    def _advance_window(self, end: float) -> None:
+        """Advance simulation time to ``end`` (one window of events).
+
+        Template method: the serial substrate runs the event loop
+        directly; the batched substrate first attempts its vectorised
+        window replay and falls back to the exact loop.
+        """
+        self.loop.run_until(end)
+
     def run_window(self) -> WindowObservation:
         """Advance one control window and return its observation."""
         start = self.loop.now
         end = start + self.config.window_length
-        self.loop.run_until(end)
+        self._advance_window(end)
         wip = self.wip_vector()
         # Publishes since the last window's observation — a persistent
         # snapshot so burst injections between windows are attributed to

@@ -15,9 +15,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.workflows.dag import WorkflowEnsemble
 
-__all__ = ["TaskDependencyService", "TdsServer", "TdsUnavailableError"]
+__all__ = [
+    "TaskDependencyService",
+    "TdsServer",
+    "TdsUnavailableError",
+    "CompiledDependencyTable",
+]
 
 
 class TdsUnavailableError(RuntimeError):
@@ -123,8 +130,124 @@ class TaskDependencyService:
         """Reads served per replica (for load-balance assertions)."""
         return {s.server_id: s.reads_served for s in self.servers}
 
+    # Batched accounting ---------------------------------------------------
+    def account_reads(self, count: int) -> None:
+        """Account ``count`` dependency reads answered from a local table.
+
+        The batched substrate answers dependency queries from a
+        :class:`CompiledDependencyTable` instead of round-tripping
+        through a replica per read, but the *availability and load
+        accounting* must stay observably identical to ``count``
+        sequential reads: the same quorum check, the same round-robin
+        pointer advance, the same per-replica ``reads_served`` counts.
+        With every replica up that collapses to arithmetic; with any
+        replica down the round-robin skip pattern is replayed read by
+        read.
+        """
+        if count < 0:
+            raise ValueError(f"read count must be non-negative, got {count}")
+        servers = self.servers
+        replicas = len(servers)
+        if count == 0:
+            # Even a zero-read batch mirrors zero serial reads: no
+            # quorum check, no pointer movement.
+            return
+        if self.healthy_count == replicas:
+            start = self._next % replicas
+            base, extra = divmod(count, replicas)
+            for offset, server in enumerate(servers):
+                server.reads_served += base + (
+                    1 if (offset - start) % replicas < extra else 0
+                )
+            self._next += count
+            return
+        for _ in range(count):
+            self._pick().reads_served += 1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"TaskDependencyService(replicas={len(self.servers)}, "
             f"healthy={self.healthy_count})"
+        )
+
+
+class CompiledDependencyTable:
+    """Integer-indexed dependency tables for the batched substrate.
+
+    Compiles an ensemble's DAGs once into flat arrays so the hot path
+    never touches strings or dicts:
+
+    - tasks are global task-type indices (``ensemble.task_index`` order,
+      the same order allocation vectors use),
+    - within each workflow type, tasks also get a dense *local* index in
+      ``topological_order`` position, addressing the per-instance
+      AND-join counters of :class:`repro.sim.requests.RequestPool`,
+    - successor lists preserve the DAG's edge insertion order, so
+      publishes fire in exactly the order the serial invoker iterates
+      ``successors(task)``.
+
+    Availability semantics stay with :class:`TaskDependencyService` —
+    the compiled table is a cache of its *contents*, and the batched
+    invoker pairs every lookup with
+    :meth:`TaskDependencyService.account_reads`.
+    """
+
+    def __init__(self, ensemble: WorkflowEnsemble):
+        self.ensemble = ensemble
+        task_names = ensemble.task_names()
+        self.num_task_types = len(task_names)
+        workflow_names = ensemble.workflow_names()
+        self.workflow_names = workflow_names
+        self.num_workflow_types = len(workflow_names)
+        #: Max DAG size across workflow types (RequestPool row width).
+        self.max_tasks = max(
+            ensemble.workflow(w).size for w in workflow_names
+        )
+        # Per workflow type w (indexed by ensemble.workflow_index):
+        self.size: List[int] = []
+        #: Entry tasks as (local index, global task-type index) pairs.
+        self.entries: List[Tuple[Tuple[int, int], ...]] = []
+        #: local index -> global task-type index.
+        self.task_of_local: List[np.ndarray] = []
+        #: global task-type index -> local index (-1 when absent).
+        self.local_of_task: List[np.ndarray] = []
+        #: Remaining-predecessor counts per local index (int16).
+        self.pred_counts: List[np.ndarray] = []
+        #: Successors per local index, as (local, global) pairs in DAG
+        #: edge order.
+        self.successors: List[Tuple[Tuple[Tuple[int, int], ...], ...]] = []
+        for w_name in workflow_names:
+            workflow = ensemble.workflow(w_name)
+            order = workflow.topological_order()
+            local_index = {task: i for i, task in enumerate(order)}
+            self.size.append(workflow.size)
+            task_of_local = np.array(
+                [ensemble.task_index(t) for t in order], dtype=np.int64
+            )
+            self.task_of_local.append(task_of_local)
+            local_of_task = np.full(self.num_task_types, -1, dtype=np.int64)
+            local_of_task[task_of_local] = np.arange(
+                workflow.size, dtype=np.int64
+            )
+            self.local_of_task.append(local_of_task)
+            self.entries.append(tuple(
+                (local_index[t], ensemble.task_index(t))
+                for t in workflow.entry_tasks
+            ))
+            self.pred_counts.append(np.array(
+                [len(workflow.predecessors(t)) for t in order],
+                dtype=np.int16,
+            ))
+            self.successors.append(tuple(
+                tuple(
+                    (local_index[s], ensemble.task_index(s))
+                    for s in workflow.successors(t)
+                )
+                for t in order
+            ))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledDependencyTable(workflows={self.num_workflow_types}, "
+            f"tasks={self.num_task_types})"
         )

@@ -1,0 +1,414 @@
+"""Serial/batched substrate equivalence: the pinning suite.
+
+docs/SIMULATOR.md states the contract these tests enforce: a
+:class:`repro.sim.batched.BatchedWorkflowSystem` driven through any
+scenario from the same seed produces **byte-identical traces** and
+**equal state snapshots** to the serial
+:class:`repro.sim.system.MicroserviceWorkflowSystem`.  Every scenario
+here runs both substrates side by side and compares
+:func:`repro.sim.substrate.substrate_snapshot` after every window (and
+raw trace bytes where tracing is on), so any divergence pins to the
+first window it appears in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BatchedWorkflowSystem,
+    ChaosInjector,
+    MicroserviceWorkflowSystem,
+    SystemConfig,
+    substrate_snapshot,
+)
+from repro.telemetry import JsonlSink, Tracer
+from repro.workflows import build_ligo_ensemble, build_msd_ensemble
+from repro.workload import PoissonArrivalProcess
+from repro.workload.bursts import MSD_BACKGROUND_RATES
+
+SUBSTRATES = (MicroserviceWorkflowSystem, BatchedWorkflowSystem)
+
+
+def run_both(scenario, **kwargs):
+    """Run ``scenario(cls, **kwargs)`` on both substrates; return results."""
+    return [scenario(cls, **kwargs) for cls in SUBSTRATES]
+
+
+def assert_window_snapshots_equal(serial, batched):
+    for k, (a, b) in enumerate(zip(serial, batched)):
+        assert a == b, f"snapshot diverged at window {k}"
+    assert len(serial) == len(batched)
+
+
+class TestBurstEquivalence:
+    """Same seed, same burst -> same snapshot, at every burst size."""
+
+    @pytest.mark.parametrize("burst", [1, 7, 1024])
+    def test_msd_burst_snapshots(self, burst):
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(),
+                SystemConfig(consumer_budget=14),
+                seed=3,
+            )
+            system.apply_allocation([4, 4, 3, 3])
+            system.inject_burst({"Type1": burst, "Type2": max(1, burst // 2)})
+            snaps = []
+            for _ in range(6):
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            assert system.conservation_ok()
+            return snaps
+
+        serial, batched = run_both(scenario)
+        assert_window_snapshots_equal(serial, batched)
+
+    def test_scaling_mid_run(self):
+        """Allocation changes (scale up, drain down, to-zero) match."""
+
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=5
+            )
+            allocations = [
+                [4, 4, 3, 3],
+                [1, 1, 1, 1],
+                [0, 6, 0, 6],
+                [3, 3, 3, 3],
+            ]
+            system.inject_burst({"Type1": 40, "Type2": 10, "Type3": 10})
+            snaps = []
+            for allocation in allocations:
+                system.apply_allocation(allocation)
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            return snaps
+
+        serial, batched = run_both(scenario)
+        assert_window_snapshots_equal(serial, batched)
+
+    def test_kill_mode_redelivery(self):
+        """Scale-down kills redeliver in the same order on both sides."""
+
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(),
+                SystemConfig(consumer_budget=14, scale_down_mode="kill"),
+                seed=7,
+            )
+            system.apply_allocation([4, 4, 3, 3])
+            system.inject_burst({"Type1": 30, "Type3": 10})
+            snaps = []
+            for k in range(6):
+                if k == 1:
+                    system.apply_allocation([1, 1, 1, 1])  # busy kills
+                if k == 3:
+                    system.apply_allocation([4, 4, 3, 3])
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            redelivered = sum(
+                ms.queue.redelivered_total
+                for ms in system.microservices.values()
+            )
+            return snaps, redelivered
+
+        (serial, redelivered_s), (batched, redelivered_b) = run_both(scenario)
+        assert redelivered_s == redelivered_b
+        assert redelivered_s > 0, "scenario must actually exercise redelivery"
+        assert_window_snapshots_equal(serial, batched)
+
+    def test_kill_while_starting_cancels_identically(self):
+        """Scale up then immediately down: cancelled ready events match."""
+
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=9
+            )
+            system.apply_allocation([4, 4, 3, 3])
+            system.apply_allocation([1, 0, 1, 0])  # kill mid-startup
+            system.apply_allocation([2, 2, 2, 2])
+            system.inject_burst({"Type1": 5})
+            snaps = []
+            for _ in range(4):
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            killed = sum(
+                ms.consumers_killed_starting
+                for ms in system.microservices.values()
+            )
+            return snaps, killed
+
+        (serial, killed_s), (batched, killed_b) = run_both(scenario)
+        assert killed_s == killed_b
+        assert killed_s > 0, "scenario must cancel starting consumers"
+        assert_window_snapshots_equal(serial, batched)
+
+
+class TestTracedEquivalence:
+    """With tracing on, the trace files are byte-for-byte identical."""
+
+    def _traced_run(self, cls, path, scale_down_mode="drain", chaos=False):
+        ensemble = build_msd_ensemble()
+        with JsonlSink(path) as sink:
+            system = cls(
+                ensemble,
+                SystemConfig(
+                    consumer_budget=14, scale_down_mode=scale_down_mode
+                ),
+                seed=11,
+                tracer=Tracer(sink),
+            )
+            system.apply_allocation([4, 4, 3, 3])
+            system.inject_burst({"Type1": 7, "Type2": 3})
+            injector = None
+            if chaos:
+                injector = ChaosInjector(
+                    system,
+                    consumer_crash_rate=0.05,
+                    tds_outage_rate=0.01,
+                ).start()
+            for k in range(8):
+                if k == 2:
+                    system.apply_allocation([1, 1, 1, 1])
+                if k == 4:
+                    system.apply_allocation([4, 4, 3, 3])
+                system.run_window()
+            if injector is not None:
+                injector.stop()
+            snapshot = substrate_snapshot(system)
+        return snapshot, path.read_bytes()
+
+    @pytest.mark.parametrize("mode", ["drain", "kill"])
+    def test_trace_bytes_identical(self, tmp_path, mode):
+        snap_s, bytes_s = self._traced_run(
+            MicroserviceWorkflowSystem, tmp_path / "serial.jsonl", mode
+        )
+        snap_b, bytes_b = self._traced_run(
+            BatchedWorkflowSystem, tmp_path / "batched.jsonl", mode
+        )
+        assert bytes_s == bytes_b
+        assert len(bytes_s) > 0
+        assert snap_s == snap_b
+
+    def test_trace_bytes_identical_under_chaos(self, tmp_path):
+        """Redelivery-under-fault: crashes + TDS outages, traced."""
+        snap_s, bytes_s = self._traced_run(
+            MicroserviceWorkflowSystem,
+            tmp_path / "serial.jsonl",
+            "kill",
+            chaos=True,
+        )
+        snap_b, bytes_b = self._traced_run(
+            BatchedWorkflowSystem,
+            tmp_path / "batched.jsonl",
+            "kill",
+            chaos=True,
+        )
+        assert bytes_s == bytes_b
+        assert b"consumer_crash" in bytes_s
+        assert snap_s == snap_b
+
+
+class TestFaultEquivalence:
+    def test_chaos_untraced_snapshots(self):
+        """Crashes and outages land identically without a tracer."""
+
+        def scenario(cls):
+            system = cls(
+                build_ligo_ensemble(),
+                SystemConfig(consumer_budget=30, scale_down_mode="kill"),
+                seed=13,
+            )
+            names = list(system.ensemble.workflow_names())
+            system.apply_allocation(
+                np.full(system.ensemble.num_task_types, 2)
+            )
+            system.inject_burst({names[0]: 10, names[-1]: 5})
+            injector = ChaosInjector(
+                system,
+                consumer_crash_rate=0.1,
+                tds_outage_rate=0.02,
+                tds_outage_duration=45.0,
+            ).start()
+            snaps = []
+            for _ in range(8):
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            injector.stop()
+            return snaps, injector.crashes_injected, injector.outages_injected
+
+        (serial, crashes_s, outages_s), (batched, crashes_b, outages_b) = (
+            run_both(scenario)
+        )
+        assert (crashes_s, outages_s) == (crashes_b, outages_b)
+        assert crashes_s > 0, "scenario must inject crashes"
+        assert_window_snapshots_equal(serial, batched)
+
+
+class TestArrivalEquivalence:
+    def test_poisson_arrivals(self):
+        """Stochastic arrival processes drive both substrates identically."""
+
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=17
+            )
+            PoissonArrivalProcess(MSD_BACKGROUND_RATES).attach(system)
+            system.apply_allocation([4, 4, 3, 3])
+            snaps = []
+            for _ in range(8):
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            return snaps
+
+        serial, batched = run_both(scenario)
+        assert_window_snapshots_equal(serial, batched)
+
+    def test_drain_procedure(self):
+        """The paper's reset (over-provision until WIP ~ 0) matches."""
+
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=19
+            )
+            system.apply_allocation([2, 2, 2, 2])
+            system.inject_burst({"Type1": 30, "Type2": 15, "Type3": 15})
+            system.run_window()
+            windows = system.drain()
+            return windows, substrate_snapshot(system)
+
+        (windows_s, snap_s), (windows_b, snap_b) = run_both(scenario)
+        assert windows_s == windows_b
+        assert snap_s == snap_b
+
+
+class TestFastPath:
+    def test_fast_windows_engage_and_match(self):
+        """The vectorised replay both engages and stays equivalent."""
+
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(),
+                SystemConfig(consumer_budget=14, startup_delay_range=(0.0, 0.0)),
+                seed=23,
+            )
+            system.apply_allocation([4, 4, 3, 3])
+            system.inject_burst({"Type1": 200, "Type2": 100, "Type3": 100})
+            snaps = []
+            for _ in range(12):
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            return system, snaps
+
+        (serial_sys, serial), (batched_sys, batched) = run_both(scenario)
+        assert batched_sys.fast_windows > 0, (
+            "vectorised replay never engaged — the fast path is untested"
+        )
+        assert_window_snapshots_equal(serial, batched)
+        assert serial_sys.conservation_ok() and batched_sys.conservation_ok()
+
+    def test_fast_path_aborts_fall_back_exactly(self):
+        """A window the replay cannot handle falls back with no residue.
+
+        Small allocation + draining queues forces starvation aborts;
+        equivalence must survive the rollback/re-run cycle.
+        """
+
+        def scenario(cls):
+            system = cls(
+                build_msd_ensemble(),
+                SystemConfig(consumer_budget=14, startup_delay_range=(0.0, 0.0)),
+                seed=29,
+            )
+            system.apply_allocation([2, 2, 2, 2])
+            system.inject_burst({"Type1": 10})  # drains mid-run
+            snaps = []
+            for _ in range(20):
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            return system, snaps
+
+        (_, serial), (batched_sys, batched) = run_both(scenario)
+        assert batched_sys.fast_aborts > 0, (
+            "scenario must exercise the abort/fallback path"
+        )
+        assert_window_snapshots_equal(serial, batched)
+
+    def test_fixed_service_times_always_fall_back(self):
+        """cv = 0 workloads tie on completion times: replay must refuse."""
+        from repro.workflows.dag import TaskType, WorkflowEnsemble, WorkflowType
+
+        ensemble = WorkflowEnsemble(
+            name="fixed",
+            task_types=[
+                TaskType("A", 10.0, cv=0.0),
+                TaskType("B", 10.0, cv=0.0),
+                TaskType("C", 15.0, cv=0.0),
+            ],
+            workflow_types=[
+                WorkflowType("W1", edges=[("A", "B"), ("B", "C")]),
+                WorkflowType("W2", edges=[("A", "C")]),
+            ],
+        )
+
+        def scenario(cls):
+            system = cls(
+                ensemble,
+                SystemConfig(consumer_budget=9, startup_delay_range=(0.0, 0.0)),
+                seed=31,
+            )
+            system.apply_allocation([3, 3, 3])
+            system.inject_burst(
+                {name: 20 for name in ensemble.workflow_names()}
+            )
+            snaps = []
+            for _ in range(8):
+                system.run_window()
+                snaps.append(substrate_snapshot(system))
+            return snaps
+
+        serial, batched = run_both(scenario)
+        assert_window_snapshots_equal(serial, batched)
+
+
+class TestBatchedApi:
+    def test_submit_returns_pool_row_ordinal(self):
+        system = BatchedWorkflowSystem(
+            build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=1
+        )
+        assert system.submit("Type1") == 0
+        assert system.submit("Type2") == 1
+        assert system.inject_burst({"Type1": 3}) == [2, 3, 4]
+        assert system.pool.num_workflows == 5
+
+    def test_unknown_workflow_type_raises(self):
+        system = BatchedWorkflowSystem(
+            build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=1
+        )
+        with pytest.raises(KeyError, match="unknown workflow type"):
+            system.submit("nope")
+
+    def test_double_completion_guard(self):
+        system = BatchedWorkflowSystem(
+            build_msd_ensemble(), SystemConfig(consumer_budget=14), seed=1
+        )
+        system.apply_allocation([1, 1, 1, 1])
+        task = system.submit("Type1")
+        system.run_window()
+        done = np.nonzero(system.pool.wf_task_done[task])[0]
+        assert done.size > 0
+        with pytest.raises(RuntimeError, match="completed twice"):
+            local = int(done[0])
+            name_index = None
+            for g in range(system.ensemble.num_task_types):
+                if system.table.local_of_task[0][g] == local:
+                    name_index = g
+            # Re-complete the already-done entry task.
+            row = np.nonzero(
+                (system.pool.task_workflow[: system.pool.num_tasks] == task)
+                & (
+                    system.pool.task_type[: system.pool.num_tasks]
+                    == name_index
+                )
+            )[0][0]
+            system.invoker.handle_task_completion(int(row), system.loop.now)

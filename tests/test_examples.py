@@ -35,6 +35,7 @@ class TestExamples:
             "save_and_deploy.py",
             "capacity_planning.py",
             "tracing_tour.py",
+            "million_request_burst.py",
         } <= present
 
     def test_infrastructure_tour_runs(self, capsys):
@@ -51,6 +52,12 @@ class TestExamples:
         assert "Per-microservice utilization" in out
         assert "Training curves" in out
         assert "manifest round-trip ok: True" in out
+
+    def test_million_request_burst_quick(self, capsys):
+        run_example("million_request_burst.py", argv=["--quick"])
+        out = capsys.readouterr().out
+        assert "completed 4,000/4,000 workflows" in out
+        assert "request conservation holds: True" in out
 
     def test_custom_workflow_builder(self):
         """The custom ensemble in the example is a valid ensemble."""
