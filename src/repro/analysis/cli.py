@@ -5,6 +5,7 @@
     python -m repro.analysis                      # lint configured paths
     python -m repro.analysis src/repro/sim        # lint specific targets
     python -m repro.analysis --format json        # machine-readable output
+    python -m repro.analysis --format sarif       # SARIF 2.1.0 (CI diffs)
     python -m repro.analysis --update-baseline    # accept current findings
     python -m repro.analysis --list-rules         # rule reference
 
@@ -16,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -42,8 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: [tool.reprolint] paths, else src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text); sarif emits SARIF 2.1.0 "
+             "for CI code-scanning upload",
     )
     parser.add_argument(
         "--root", default=None,
@@ -70,9 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild the project index instead of using the on-disk cache",
     )
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=int, default=None, metavar="N",
         help="parse and per-file-check N files in parallel "
-             "(order-deterministic; default: 1)",
+             "(order-deterministic; default: auto-detect cpu count)",
     )
     return parser
 
@@ -87,6 +90,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     config = load_config(Path(args.root) if args.root else None)
+    if args.jobs is None:
+        # Output is byte-identical at any job count (input-order merge,
+        # project checkers in the parent), so parallelism is safe to
+        # default on.
+        args.jobs = os.cpu_count() or 1
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
@@ -146,6 +154,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(json.dumps(_to_json(result), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(_to_sarif(result), indent=2))
     else:
         _print_text(result)
     return result.exit_code
@@ -203,6 +213,66 @@ def _to_json(result: AnalysisResult) -> dict:
         ],
         "checked_files": result.checked_files,
         "exit_code": result.exit_code,
+    }
+
+
+#: SARIF severity levels for reprolint severities.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _to_sarif(result: AnalysisResult) -> dict:
+    """SARIF 2.1.0 report (one run, reported findings only).
+
+    Suppressed and baselined findings are emitted with SARIF's
+    ``suppressions`` field set, so code-scanning UIs show them as
+    reviewed rather than open.
+    """
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": description},
+            "properties": {"family": family},
+        }
+        for rule, family, description in rule_table()
+    ]
+
+    def to_result(finding, suppression_kind=None):
+        entry = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity.value, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                },
+            }],
+        }
+        if suppression_kind is not None:
+            entry["suppressions"] = [{"kind": suppression_kind}]
+        return entry
+
+    results = [to_result(f) for f in result.findings]
+    results += [to_result(f, "inSource") for f in result.suppressed]
+    results += [to_result(f, "external") for f in result.baselined]
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "rules": rules,
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "results": results,
+        }],
     }
 
 

@@ -36,6 +36,10 @@ B1     Batch-pair contracts: every ``@batched_pair`` declaration must
        the leading batch axis (B102), and — when tests are under
        analysis — at least one test must reference the batched side
        (B103).
+V1/V2  Shape discipline and batch-axis dataflow proofs, built on the
+W1     abstract interpreter in :mod:`repro.analysis.shapes`; the
+       checkers live in :mod:`repro.analysis.shaperules` and register
+       through :func:`all_project_checkers` like every other family.
 =====  ======================================================================
 
 All checks work on plain index data, so they run identically from a
@@ -474,7 +478,7 @@ class NumericDisciplineChecker(ProjectChecker):
     def _dtype_set(func: FunctionInfo) -> Set[str]:
         return {
             d.name for d in func.dtype_mentions
-            if d.name in ("float32", "float64")  # reprolint: disable=N101
+            if d.name in ("float32", "float64")
         }
 
     def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
@@ -486,7 +490,7 @@ class NumericDisciplineChecker(ProjectChecker):
         by_name = _functions_by_name(index)
         for func in sorted(index.functions, key=lambda f: (f.path, f.line)):
             dtypes = self._dtype_set(func)
-            if {"float32", "float64"} <= dtypes:  # reprolint: disable=N101
+            if {"float32", "float64"} <= dtypes:
                 site = min(
                     (d for d in func.dtype_mentions if d.name == "float32"),
                     key=lambda d: (d.line, d.column),
@@ -811,6 +815,14 @@ def _signature_mismatch(
 
 def all_project_checkers() -> List[ProjectChecker]:
     """Fresh instances of every cross-module checker, report order."""
+    # Imported lazily: shaperules subclasses ProjectChecker, so a
+    # module-level import here would be circular.
+    from repro.analysis.shaperules import (
+        BatchAxisChecker,
+        ShapeDisciplineChecker,
+        WorkerPayloadChecker,
+    )
+
     return [
         RngProvenanceChecker(),
         TelemetryConformanceChecker(),
@@ -819,6 +831,9 @@ def all_project_checkers() -> List[ProjectChecker]:
         NumericDisciplineChecker(),
         ProcessSafetyChecker(),
         BatchPairChecker(),
+        ShapeDisciplineChecker(),
+        BatchAxisChecker(),
+        WorkerPayloadChecker(),
     ]
 
 

@@ -1,0 +1,350 @@
+"""Shape, batch-axis, and worker-payload rule families.
+
+Three project-level families built on :mod:`repro.analysis.shapes`:
+
+=====  ======================================================================
+V1     Shape discipline on the hot-path call closure: provable broadcast
+       mismatches (V101), rank violations feeding fixed-rank consumers
+       such as matmul (V102), axis keywords outside the inferred rank
+       (V103), shape-dependent branching on hot paths (V104 — dispatch
+       per call defeats vectorisation; validation guards that only
+       raise are exempt), and inferred float32/float64 promotion (V105,
+       the dataflow upgrade of mention-based N101).
+V2     Batch-axis contracts: every ``@batched_pair`` twin must declare a
+       ``shapes=`` contract (V201) that binds the leading batch symbol
+       ``K`` in its inputs and carries it to the return (V202), must not
+       be contradicted by the abstract interpreter (V203), and must stay
+       provably shape-safe when ``K`` collapses to 1 (V204) — upgrading
+       the B family from signature alignment to dataflow proof.
+W1     Worker payloads: every value shipped into a pool dispatch
+       (``executor.submit/map``, ``Process(target=...)``) must be
+       picklable in the worker — no lambdas or locally-defined
+       callables (W101), no open handles or live RNG generators (W102),
+       and no tracer/sink references (W103), which would either fail to
+       serialise or silently fork buffered state into the child.
+=====  ======================================================================
+
+Like every project family, these consume only plain index data (plus
+the pure-Python shape interpreter), so findings are identical from a
+fresh extraction, the on-disk cache, and any ``--jobs`` setting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.crossrules import ProjectChecker
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import FunctionInfo, PayloadArg, PoolSite, ProjectIndex
+from repro.analysis.shapes import (
+    BATCH_SYMBOL,
+    batch_contract_report,
+    hotpath_events,
+)
+
+__all__ = [
+    "ShapeDisciplineChecker",
+    "BatchAxisChecker",
+    "WorkerPayloadChecker",
+]
+
+#: ShapeEvent.kind -> (rule id, severity) for the inference-driven rules.
+_EVENT_RULES = {
+    "broadcast": ("V101", Severity.ERROR),
+    "rank": ("V102", Severity.ERROR),
+    "axis": ("V103", Severity.ERROR),
+    "promote": ("V105", Severity.WARNING),
+}
+
+
+def _is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(p in ("tests", "test") for p in parts) or (
+        bool(parts) and parts[-1].startswith("test_")
+    )
+
+
+class ShapeDisciplineChecker(ProjectChecker):
+    """V1: provable shape/dtype contradictions on the hot paths."""
+
+    family = "V1"
+    rules = [
+        (
+            "V101",
+            "arithmetic on arrays whose inferred shapes provably cannot "
+            "broadcast",
+        ),
+        (
+            "V102",
+            "rank-changing operation feeds a fixed-rank consumer "
+            "(matmul/dot operand of provably wrong rank)",
+        ),
+        (
+            "V103",
+            "axis keyword is provably outside the operand's inferred rank",
+        ),
+        (
+            "V104",
+            "rank dispatch (`.ndim` in a branch condition) on a hot-path "
+            "function; per-call rank polymorphism defeats vectorisation "
+            "(raise-only validation guards and `.shape` size logic are "
+            "exempt)",
+        ),
+        (
+            "V105",
+            "inferred float32 array meets a float64 array; the result "
+            "silently promotes (dataflow upgrade of mention-based N101)",
+        ),
+    ]
+
+    def check(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        roots = set(config.hotpath_roots)
+        for event in hotpath_events(index, sorted(roots)):
+            rule, severity = _EVENT_RULES[event.kind]
+            yield self.finding(
+                rule, event.path, event.line, event.column,
+                f"in `{event.function}`: {event.message}",
+                severity=severity,
+            )
+        yield from self._check_shape_branching(index, roots)
+
+    def _check_shape_branching(
+        self, index: ProjectIndex, roots: set
+    ) -> Iterator[Finding]:
+        by_name: Dict[str, List[FunctionInfo]] = {}
+        for func in index.functions:
+            by_name.setdefault(func.name, []).append(func)
+        reachable: set = set()
+        frontier = [n for n in sorted(roots) if n in by_name]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            for func in by_name[name]:
+                for callee in func.calls:
+                    if callee not in reachable and callee in by_name:
+                        frontier.append(callee)
+        for func in sorted(index.functions, key=lambda f: (f.path, f.line)):
+            if func.name not in reachable or _is_test_path(func.path):
+                continue
+            for line, column in _shape_branches(func.shape_stmts):
+                yield self.finding(
+                    "V104", func.path, line, column,
+                    f"`{func.qualname}` is reachable from the hot-path "
+                    f"roots and branches on `.ndim`; per-call rank "
+                    f"dispatch defeats vectorisation — give each rank "
+                    f"its own entrypoint or make the guard raise-only",
+                    severity=Severity.WARNING,
+                )
+
+
+def _shape_branches(stmts: List[Dict]) -> Iterator[Tuple[int, int]]:
+    for stmt in stmts:
+        if stmt["s"] == "if":
+            if stmt.get("ndim_cond") and not stmt.get("raise_only"):
+                yield stmt.get("ln", 1), stmt.get("c", 1)
+            yield from _shape_branches(stmt.get("body", []))
+            yield from _shape_branches(stmt.get("orelse", []))
+        elif stmt["s"] in ("for", "while"):
+            yield from _shape_branches(stmt.get("body", []))
+
+
+class BatchAxisChecker(ProjectChecker):
+    """V2: dataflow-proven leading-batch-axis contracts per pair."""
+
+    family = "V2"
+    rules = [
+        (
+            "V201",
+            "@batched_pair twin lacks a parseable shapes= contract",
+        ),
+        (
+            "V202",
+            "shapes= contract does not bind the leading batch symbol K "
+            "in its inputs, or its array return does not carry K as the "
+            "leading axis",
+        ),
+        (
+            "V203",
+            "abstract interpretation of the batch twin contradicts its "
+            "declared shapes= contract",
+        ),
+        (
+            "V204",
+            "collapsing the batch axis to K=1 makes the twin provably "
+            "shape-unsafe",
+        ),
+    ]
+
+    def check(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        for report in batch_contract_report(index):
+            site = report.site
+            where = (site.path, site.line, site.column)
+            if site.shapes is None:
+                yield self.finding(
+                    "V201", *where,
+                    f"@batched_pair on `{site.batch_name}` declares no "
+                    f"shapes= contract; the leading-batch-axis proof "
+                    f"needs one (e.g. shapes=\"(K, state_dim) -> (K,)\")",
+                )
+                continue
+            if report.parse_error is not None:
+                yield self.finding(
+                    "V201", *where,
+                    f"shapes= contract on `{site.batch_name}` does not "
+                    f"parse: {report.parse_error}",
+                )
+                continue
+            contract = report.contract
+            if not contract.binds_batch_axis:
+                yield self.finding(
+                    "V202", *where,
+                    f"shapes= contract on `{site.batch_name}` never "
+                    f"binds the batch symbol `{BATCH_SYMBOL}` in its "
+                    f"inputs; the batch axis cannot be traced end-to-end",
+                )
+            elif not contract.returns_batch_axis:
+                yield self.finding(
+                    "V202", *where,
+                    f"shapes= contract on `{site.batch_name}` declares "
+                    f"an array return whose leading axis is not "
+                    f"`{BATCH_SYMBOL}`; the batch axis must be carried "
+                    f"to the return (or the return marked `_`)",
+                )
+            if report.contradiction is not None:
+                yield self.finding(
+                    "V203", *where,
+                    f"on `{site.batch_name}`: {report.contradiction}",
+                )
+            for event in report.k1_events:
+                yield self.finding(
+                    "V204", event.path, event.line, event.column,
+                    f"`{site.batch_name}` with K=1: {event.message}",
+                )
+
+
+#: Callees whose results must not cross a process boundary (W102).
+_UNPICKLABLE_CALLS = frozenset([
+    "open", "default_rng", "RandomState", "Generator", "fork",
+    "fallback_stream",
+])
+
+#: Constructors/attributes that mark tracer or sink objects (W103).
+_TRACER_CALLS = frozenset([
+    "Tracer", "JsonlSink", "MemorySink", "MetricsSink", "NullSink",
+])
+_TRACER_ATTRS = ("tracer", "sink")
+
+
+class WorkerPayloadChecker(ProjectChecker):
+    """W1: everything shipped to a pool worker must be picklable."""
+
+    family = "W1"
+    rules = [
+        (
+            "W101",
+            "lambda or locally-defined callable shipped as a worker "
+            "payload; pickling it in the child always fails",
+        ),
+        (
+            "W102",
+            "open handle or live RNG generator shipped as a worker "
+            "payload; handles don't serialise and generators silently "
+            "duplicate their state into the child",
+        ),
+        (
+            "W103",
+            "tracer or sink reference shipped as a worker payload; "
+            "buffered telemetry state forks into the child and the "
+            "parent's records silently diverge",
+        ),
+    ]
+
+    def check(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        functions = {
+            (f.module, f.qualname): f for f in index.functions
+        }
+        for site in sorted(
+            index.pool_sites, key=lambda s: (s.path, s.line, s.column)
+        ):
+            scope = functions.get((site.module, site.function))
+            for payload in site.payloads:
+                yield from self._check_payload(site, payload, scope)
+
+    def _check_payload(
+        self,
+        site: PoolSite,
+        payload: PayloadArg,
+        scope: Optional[FunctionInfo],
+    ) -> Iterator[Finding]:
+        where = (site.path, payload.line, payload.column)
+        if payload.form == "lambda":
+            yield self.finding(
+                "W101", *where,
+                f"lambda shipped into `{site.method}`; lambdas cannot "
+                f"be pickled across the process boundary",
+            )
+            return
+        if payload.form == "name" and scope is not None:
+            if payload.name in scope.local_defs:
+                yield self.finding(
+                    "W101", *where,
+                    f"`{payload.name}` is defined inside "
+                    f"`{scope.qualname}` and shipped into "
+                    f"`{site.method}`; locally-defined callables cannot "
+                    f"be pickled — move it to module level",
+                )
+                return
+            bound_to = scope.call_bindings.get(payload.name)
+            if bound_to in _UNPICKLABLE_CALLS:
+                yield self.finding(
+                    "W102", *where,
+                    f"`{payload.name}` holds the result of "
+                    f"`{bound_to}(...)` and is shipped into "
+                    f"`{site.method}`; pass plain data (a path, a seed) "
+                    f"and reconstruct in the worker",
+                )
+                return
+            if bound_to in _TRACER_CALLS:
+                yield self.finding(
+                    "W103", *where,
+                    f"`{payload.name}` holds a `{bound_to}` and is "
+                    f"shipped into `{site.method}`; telemetry objects "
+                    f"must stay in the parent — workers should return "
+                    f"records, not carry sinks",
+                )
+                return
+        if payload.form == "call":
+            if payload.callee in _UNPICKLABLE_CALLS:
+                yield self.finding(
+                    "W102", *where,
+                    f"`{payload.callee}(...)` result shipped directly "
+                    f"into `{site.method}`; pass plain data and "
+                    f"reconstruct in the worker",
+                )
+                return
+            if payload.callee in _TRACER_CALLS:
+                yield self.finding(
+                    "W103", *where,
+                    f"`{payload.callee}(...)` shipped directly into "
+                    f"`{site.method}`; telemetry objects must stay in "
+                    f"the parent",
+                )
+                return
+        if payload.form == "attribute" and payload.chain is not None:
+            last = payload.chain.split(".")[-1].lstrip("_")
+            if any(mark in last.lower() for mark in _TRACER_ATTRS):
+                yield self.finding(
+                    "W103", *where,
+                    f"`{payload.chain}` looks like a tracer/sink "
+                    f"reference shipped into `{site.method}`; workers "
+                    f"must not carry telemetry objects",
+                )

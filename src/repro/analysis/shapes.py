@@ -1,0 +1,1488 @@
+"""Symbolic array shape/dtype inference over the project index.
+
+An abstract interpreter for the per-function shape IR recorded by
+:mod:`repro.analysis.index` (``FunctionInfo.shape_stmts``).  Values live
+in a small domain:
+
+=========  ==============================================================
+array      known-rank ndarray with per-dimension entries that are a
+           concrete ``int``, a symbol (``"K"``, ``"state_dim"``) bound by
+           an entrypoint contract, or ``None`` (unknown length)
+int        a Python integer — concrete value or a contract symbol
+num        a non-integer numeric scalar (dtype tracked when strong)
+tuple      a fixed-length tuple of abstract values (``x.shape``)
+str        a string constant (dtype arguments)
+none       the ``None`` constant
+unknown    everything else — the absorbing element
+=========  ==============================================================
+
+Inference is deliberately *conservative*: every operation the
+interpreter does not model, every name it cannot resolve, and every
+dimension it cannot prove maps to unknown, and unknown never produces a
+finding.  Rules fire only on contradictions that hold for **every**
+concrete execution (two concrete, unequal, non-1 dimensions under a
+broadcast; an integer axis outside a known rank; a float32 array meeting
+a float64 array), so an empty finding list on ``src/repro`` stays
+meaningful.
+
+Interprocedural reasoning follows *name-level* call edges, the same
+resolution the R/E/N families use: a call is inlined only when the
+simple callee name maps to exactly one function in the index, with a
+recursion guard and a depth budget.  Entry seeding comes from
+``@batched_pair(shapes=...)`` contracts (:func:`parse_contract`) and a
+shape-spec table for numpy builtins (:data:`NUMPY_SPECS`).
+
+Everything here consumes plain index data, so results are identical
+from a fresh extraction or the on-disk cache, and identical across
+``--jobs`` settings (project checkers always run in the parent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.index import BatchPairSite, FunctionInfo, ProjectIndex
+
+__all__ = [
+    "ShapeVal",
+    "UNKNOWN",
+    "BATCH_SYMBOL",
+    "Contract",
+    "ContractError",
+    "ParamSpec",
+    "parse_contract",
+    "ShapeEvent",
+    "ShapeEngine",
+    "PairReport",
+    "batch_contract_report",
+    "NUMPY_SPECS",
+]
+
+#: The canonical leading-batch-axis symbol in ``shapes=`` contracts.
+BATCH_SYMBOL = "K"
+
+#: Dimension entries: a concrete int, a symbol name, or None (unknown).
+Dim = object
+
+#: Interprocedural inlining budget — call chains deeper than this
+#: evaluate to unknown rather than exploding.
+_MAX_CALL_DEPTH = 4
+
+
+# Value domain --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShapeVal:
+    """One abstract value.  Immutable so environments can share them."""
+
+    kind: str  # array | int | num | tuple | str | none | unknown
+    dims: Optional[Tuple[Dim, ...]] = None
+    #: Element dtype ("float32", ...); None when unknown.  For ``num``
+    #: scalars a non-None dtype marks a *strong* numpy scalar — weak
+    #: Python floats never drive promotion findings.
+    dtype: Optional[str] = None
+    #: Concrete value for int/str; a symbol name for symbolic ints.
+    value: object = None
+    elts: Optional[Tuple["ShapeVal", ...]] = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == "array"
+
+    @property
+    def rank(self) -> Optional[int]:
+        return len(self.dims) if self.kind == "array" else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "array":
+            inner = ", ".join(
+                "?" if d is None else str(d) for d in self.dims
+            )
+            suffix = f" {self.dtype}" if self.dtype else ""
+            return f"<array ({inner}){suffix}>"
+        if self.kind in ("int", "str"):
+            return f"<{self.kind} {self.value}>"
+        return f"<{self.kind}>"
+
+
+UNKNOWN = ShapeVal("unknown")
+NONE = ShapeVal("none")
+
+
+def array_of(dims: Sequence[Dim], dtype: Optional[str] = None) -> ShapeVal:
+    return ShapeVal("array", dims=tuple(dims), dtype=dtype)
+
+
+def int_of(value: object) -> ShapeVal:
+    return ShapeVal("int", value=value)
+
+
+def join_vals(a: ShapeVal, b: ShapeVal) -> ShapeVal:
+    """Least upper bound of two abstract values (branch merge)."""
+    if a == b:
+        return a
+    if a.kind == "array" and b.kind == "array" and len(a.dims) == len(b.dims):
+        dims = tuple(
+            da if da == db else None for da, db in zip(a.dims, b.dims)
+        )
+        dtype = a.dtype if a.dtype == b.dtype else None
+        return array_of(dims, dtype)
+    if a.kind == b.kind == "int":
+        return ShapeVal("int")
+    if a.kind == b.kind:
+        return ShapeVal(a.kind) if a.kind in ("num", "str") else UNKNOWN
+    return UNKNOWN
+
+
+# Dimension algebra ---------------------------------------------------------
+
+def _dims_definitely_unequal(a: Dim, b: Dim) -> bool:
+    """Provable inequality: two concrete ints that differ."""
+    return (
+        isinstance(a, int) and isinstance(b, int) and a != b
+    )
+
+
+def broadcast_dims(
+    a: Tuple[Dim, ...], b: Tuple[Dim, ...]
+) -> Tuple[Optional[Tuple[Dim, ...]], bool]:
+    """Numpy broadcasting; returns ``(result_dims, provable_error)``.
+
+    The error flag is set only when some aligned pair is two concrete,
+    unequal integers with neither equal to 1 — the mismatch every
+    concrete execution would raise on.
+    """
+    out: List[Dim] = []
+    ra, rb = len(a), len(b)
+    for i in range(max(ra, rb)):
+        da = a[ra - 1 - i] if i < ra else 1
+        db = b[rb - 1 - i] if i < rb else 1
+        if da == 1:
+            out.append(db)
+        elif db == 1:
+            out.append(da)
+        elif da == db and da is not None:
+            out.append(da)
+        elif _dims_definitely_unequal(da, db):
+            return None, True
+        else:
+            # Symbol vs int, symbol vs other symbol, or unknown: the
+            # run *may* be fine, so the result length is unknown.
+            out.append(da if da == db else None)
+    out.reverse()
+    return tuple(out), False
+
+
+# Contracts -----------------------------------------------------------------
+
+class ContractError(ValueError):
+    """A ``shapes=`` contract string that does not parse."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One parameter (or the return) of a ``shapes=`` contract."""
+
+    kind: str  # array | int | any | scalar
+    dims: Tuple[Dim, ...] = ()
+    symbol: Optional[str] = None
+
+    def seed(self) -> ShapeVal:
+        """Abstract value this spec contributes to the entry environment."""
+        if self.kind == "array":
+            return array_of(self.dims)
+        if self.kind == "int":
+            return int_of(self.symbol)
+        if self.kind == "scalar":
+            return ShapeVal("num")
+        return UNKNOWN
+
+
+@dataclass(frozen=True)
+class Contract:
+    """A parsed ``shapes="(K, state_dim), _ -> (K,)"`` declaration.
+
+    Parameter specs cover the batch function's positional parameters
+    after ``self`` (for methods).  ``_`` leaves a parameter or the
+    return unchecked; a bare identifier binds a scalar int symbol;
+    ``()`` is a non-array scalar.
+    """
+
+    params: Tuple[ParamSpec, ...]
+    ret: Optional[ParamSpec]
+
+    @property
+    def binds_batch_axis(self) -> bool:
+        """Does some input bind the leading batch symbol ``K``?"""
+        for spec in self.params:
+            if spec.kind == "int" and spec.symbol == BATCH_SYMBOL:
+                return True
+            if spec.kind == "array" and BATCH_SYMBOL in spec.dims:
+                return True
+        return False
+
+    @property
+    def returns_batch_axis(self) -> bool:
+        """Is the return unchecked, scalar, or leading-``K``?"""
+        if self.ret is None or self.ret.kind in ("any", "scalar", "int"):
+            return True
+        return bool(self.ret.dims) and self.ret.dims[0] == BATCH_SYMBOL
+
+
+def _tokenize_contract(spec: str) -> List[str]:
+    tokens: List[str] = []
+    i = 0
+    while i < len(spec):
+        ch = spec[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "(),":
+            tokens.append(ch)
+            i += 1
+        elif spec.startswith("->", i):
+            tokens.append("->")
+            i += 2
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < len(spec) and (spec[j].isalnum() or spec[j] == "_"):
+                j += 1
+            tokens.append(spec[i:j])
+            i = j
+        elif ch.isdigit():
+            j = i
+            while j < len(spec) and spec[j].isdigit():
+                j += 1
+            tokens.append(spec[i:j])
+            i = j
+        else:
+            raise ContractError(f"unexpected character {ch!r} in {spec!r}")
+    return tokens
+
+
+def _parse_item(tokens: List[str], pos: int) -> Tuple[ParamSpec, int]:
+    tok = tokens[pos] if pos < len(tokens) else None
+    if tok == "(":
+        dims: List[Dim] = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            t = tokens[pos]
+            if t == ",":
+                pos += 1
+                continue
+            if t.isdigit():
+                dims.append(int(t))
+            elif t == "_":
+                dims.append(None)
+            elif t.isidentifier():
+                dims.append(t)
+            else:
+                raise ContractError(f"bad dimension token {t!r}")
+            pos += 1
+        if pos >= len(tokens):
+            raise ContractError("unclosed '(' in shapes contract")
+        pos += 1  # consume ')'
+        if not dims:
+            return ParamSpec("scalar"), pos
+        return ParamSpec("array", dims=tuple(dims)), pos
+    if tok == "_":
+        return ParamSpec("any"), pos + 1
+    if tok is not None and tok.isidentifier():
+        return ParamSpec("int", symbol=tok), pos + 1
+    raise ContractError(f"expected a parameter spec, got {tok!r}")
+
+
+def parse_contract(spec: str) -> Contract:
+    """Parse a ``shapes=`` contract string (raises :class:`ContractError`)."""
+    tokens = _tokenize_contract(spec)
+    if not tokens:
+        raise ContractError("empty shapes contract")
+    params: List[ParamSpec] = []
+    ret: Optional[ParamSpec] = None
+    pos = 0
+    if tokens[0] != "->":
+        while pos < len(tokens) and tokens[pos] != "->":
+            item, pos = _parse_item(tokens, pos)
+            params.append(item)
+            if pos < len(tokens) and tokens[pos] == ",":
+                pos += 1
+    if pos < len(tokens) and tokens[pos] == "->":
+        ret, pos = _parse_item(tokens, pos + 1)
+    if pos != len(tokens):
+        raise ContractError(
+            f"trailing tokens {tokens[pos:]!r} in shapes contract"
+        )
+    return Contract(params=tuple(params), ret=ret)
+
+
+# Events --------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShapeEvent:
+    """One provable contradiction found during inference."""
+
+    kind: str  # broadcast | rank | axis | promote
+    path: str
+    line: int
+    column: int
+    message: str
+    #: Qualified name of the function the event fired inside.
+    function: str
+
+
+# Numpy spec table ----------------------------------------------------------
+#
+# Each handler maps ``(recv, args, kwargs, ctx)`` to a ShapeVal, where
+# ``recv`` is the already-evaluated method receiver (None for module
+# functions) and ``ctx`` lets the handler report events or look up the
+# promotion lattice.  Handlers never raise; unknown in, unknown out.
+
+_FLOAT_ORDER = {"float16": 0, "float32": 1, "float64": 2}
+_DTYPE_NAMES = frozenset(
+    list(_FLOAT_ORDER)
+    + ["int8", "int16", "int32", "int64", "uint8", "bool", "complex128"]
+)
+
+
+def _promote_dtype(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a is None or b is None:
+        return a or b
+    if a == b:
+        return a
+    if a in _FLOAT_ORDER and b in _FLOAT_ORDER:
+        return a if _FLOAT_ORDER[a] >= _FLOAT_ORDER[b] else b
+    if a in _FLOAT_ORDER:
+        return a
+    if b in _FLOAT_ORDER:
+        return b
+    return None
+
+
+def _shape_arg_dims(val: ShapeVal) -> Optional[Tuple[Dim, ...]]:
+    """Dims tuple from a ``shape=`` argument value, if decodable."""
+    if val.kind == "int":
+        return (val.value if val.value is not None else None,)
+    if val.kind == "tuple":
+        dims: List[Dim] = []
+        for e in val.elts:
+            if e.kind == "int":
+                dims.append(e.value if e.value is not None else None)
+            else:
+                return None
+        return tuple(dims)
+    return None
+
+
+def _dtype_arg(val: Optional[ShapeVal]) -> Optional[str]:
+    if val is None:
+        return None
+    if val.kind == "str" and val.value in _DTYPE_NAMES:
+        return val.value
+    return None
+
+
+def _first_array(args: Sequence[ShapeVal]) -> Optional[ShapeVal]:
+    for a in args:
+        if a.is_array:
+            return a
+    return None
+
+
+def _spec_constructor(recv, args, kwargs, ctx) -> ShapeVal:
+    """np.zeros / ones / empty / full: shape arg + dtype kwarg."""
+    if not args:
+        return UNKNOWN
+    dims = _shape_arg_dims(args[0])
+    if dims is None:
+        return UNKNOWN
+    return array_of(dims, _dtype_arg(kwargs.get("dtype")) or "float64")
+
+
+def _spec_like(recv, args, kwargs, ctx) -> ShapeVal:
+    if args and args[0].is_array:
+        dtype = _dtype_arg(kwargs.get("dtype")) or args[0].dtype
+        return array_of(args[0].dims, dtype)
+    return UNKNOWN
+
+
+def _spec_asarray(recv, args, kwargs, ctx) -> ShapeVal:
+    if not args:
+        return UNKNOWN
+    src = args[0]
+    dtype = _dtype_arg(kwargs.get("dtype")) or (
+        _dtype_arg(args[1]) if len(args) > 1 else None
+    )
+    if src.is_array:
+        return array_of(src.dims, dtype or src.dtype)
+    if src.kind == "tuple":
+        inner = [e for e in src.elts]
+        if inner and all(e.kind in ("int", "num") for e in inner):
+            return array_of((len(inner),), dtype)
+        if inner and all(
+            e.is_array and e.dims == inner[0].dims for e in inner
+        ):
+            return array_of((len(inner),) + inner[0].dims, dtype)
+    return UNKNOWN
+
+
+def _spec_arange(recv, args, kwargs, ctx) -> ShapeVal:
+    return array_of((None,), _dtype_arg(kwargs.get("dtype")))
+
+
+def _spec_linspace(recv, args, kwargs, ctx) -> ShapeVal:
+    n: Dim = None
+    if len(args) >= 3 and args[2].kind == "int":
+        n = args[2].value
+    return array_of((n,), _dtype_arg(kwargs.get("dtype")) or "float64")
+
+
+def _axis_value(args, kwargs, position=0) -> Optional[ShapeVal]:
+    if "axis" in kwargs:
+        return kwargs["axis"]
+    if len(args) > position:
+        return args[position]
+    return None
+
+
+def _check_axis(arr: ShapeVal, axis: ShapeVal, ctx, site) -> Optional[int]:
+    """Resolve a concrete axis; report when provably out of rank."""
+    if axis is None or axis.kind != "int" or not isinstance(axis.value, int):
+        return None
+    rank = arr.rank
+    if rank is None:
+        return axis.value
+    if not -rank <= axis.value < rank:
+        ctx.event(
+            "axis", site,
+            f"axis {axis.value} is out of range for an inferred rank-"
+            f"{rank} array",
+        )
+        return None
+    return axis.value % rank
+
+
+def _spec_reduce(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    """sum/mean/max/... — axis=None collapses, axis=i drops dimension i."""
+    arr = recv if recv is not None and recv.is_array else _first_array(args)
+    if arr is None:
+        return UNKNOWN
+    pos_args = args if recv is not None else args[1:]
+    axis = _axis_value(pos_args, kwargs)
+    keep = kwargs.get("keepdims")
+    keepdims = keep is not None and keep.kind == "int" and keep.value == 1
+    if axis is None or axis.kind == "none":
+        if keepdims:
+            return array_of((1,) * len(arr.dims), arr.dtype)
+        return ShapeVal("num", dtype=arr.dtype)
+    idx = _check_axis(arr, axis, ctx, site)
+    if idx is None:
+        return UNKNOWN
+    dims = list(arr.dims)
+    if keepdims:
+        dims[idx] = 1
+    else:
+        del dims[idx]
+    if not dims and not keepdims:
+        return ShapeVal("num", dtype=arr.dtype)
+    return array_of(dims, arr.dtype)
+
+
+def _spec_index_reduce(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    """argmax/any/...: reduce shapes, but the result dtype is not the
+    operand's (indices or booleans) — keep it unknown."""
+    out = _spec_reduce(recv, args, kwargs, ctx, site=site)
+    if out.is_array:
+        return array_of(out.dims, None)
+    if out.kind == "num":
+        return ShapeVal("num")
+    return out
+
+
+def _spec_predicate(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    """isnan/isfinite/sign-style maps: shape-preserving, dtype reset."""
+    out = _spec_elementwise(recv, args, kwargs, ctx, site=site)
+    if out.is_array:
+        return array_of(out.dims, None)
+    return UNKNOWN
+
+
+def _spec_concatenate(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    if not args or args[0].kind != "tuple" or not args[0].elts:
+        return UNKNOWN
+    parts = args[0].elts
+    if not all(p.is_array for p in parts):
+        return UNKNOWN
+    rank = parts[0].rank
+    if any(p.rank != rank for p in parts):
+        return UNKNOWN
+    axis = _axis_value(args[1:], kwargs)
+    idx = 0
+    if axis is not None:
+        idx = _check_axis(parts[0], axis, ctx, site)
+        if idx is None:
+            return UNKNOWN
+    dims: List[Dim] = []
+    for d in range(rank):
+        if d == idx:
+            sizes = [p.dims[d] for p in parts]
+            if all(isinstance(s, int) for s in sizes):
+                dims.append(sum(sizes))
+            else:
+                dims.append(None)
+        else:
+            entries = {p.dims[d] for p in parts}
+            dims.append(entries.pop() if len(entries) == 1 else None)
+    dtype = parts[0].dtype
+    for p in parts[1:]:
+        dtype = _promote_dtype(dtype, p.dtype)
+    return array_of(dims, dtype)
+
+
+def _spec_stack(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    if not args or args[0].kind != "tuple" or not args[0].elts:
+        return UNKNOWN
+    parts = args[0].elts
+    if not all(p.is_array for p in parts):
+        return UNKNOWN
+    base = parts[0].dims
+    if any(p.dims != base for p in parts):
+        return UNKNOWN
+    return array_of((len(parts),) + base, parts[0].dtype)
+
+
+def _spec_reshape(recv, args, kwargs, ctx) -> ShapeVal:
+    arr = recv if recv is not None and recv.is_array else _first_array(args)
+    if arr is None:
+        return UNKNOWN
+    shape_args = args if recv is not None else args[1:]
+    if len(shape_args) == 1:
+        dims = _shape_arg_dims(shape_args[0])
+    else:
+        dims = _shape_arg_dims(
+            ShapeVal("tuple", elts=tuple(shape_args))
+        )
+    if dims is None:
+        return UNKNOWN
+    resolved = tuple(None if d == -1 else d for d in dims)
+    return array_of(resolved, arr.dtype)
+
+
+def _spec_transpose(recv, args, kwargs, ctx) -> ShapeVal:
+    arr = recv if recv is not None and recv.is_array else _first_array(args)
+    if arr is None:
+        return UNKNOWN
+    extra = args if recv is not None else args[1:]
+    if extra:
+        return array_of((None,) * len(arr.dims), arr.dtype)
+    return array_of(tuple(reversed(arr.dims)), arr.dtype)
+
+
+def _spec_atleast_2d(recv, args, kwargs, ctx) -> ShapeVal:
+    if not args:
+        return UNKNOWN
+    src = args[0]
+    if src.is_array:
+        if len(src.dims) >= 2:
+            return src
+        if len(src.dims) == 1:
+            return array_of((1,) + src.dims, src.dtype)
+        return array_of((1, 1), src.dtype)
+    if src.kind in ("int", "num"):
+        return array_of((1, 1))
+    return UNKNOWN
+
+
+def _spec_atleast_1d(recv, args, kwargs, ctx) -> ShapeVal:
+    if not args:
+        return UNKNOWN
+    src = args[0]
+    if src.is_array:
+        return src if src.dims else array_of((1,), src.dtype)
+    if src.kind in ("int", "num"):
+        return array_of((1,))
+    return UNKNOWN
+
+
+def _spec_expand_dims(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    if not args or not args[0].is_array:
+        return UNKNOWN
+    arr = args[0]
+    axis = _axis_value(args[1:], kwargs)
+    if axis is None or axis.kind != "int" or not isinstance(axis.value, int):
+        return UNKNOWN
+    rank = len(arr.dims)
+    ax = axis.value
+    if not -rank - 1 <= ax <= rank:
+        ctx.event(
+            "axis", site,
+            f"expand_dims axis {ax} is out of range for an inferred "
+            f"rank-{rank} array",
+        )
+        return UNKNOWN
+    if ax < 0:
+        ax += rank + 1
+    dims = list(arr.dims)
+    dims.insert(ax, 1)
+    return array_of(dims, arr.dtype)
+
+
+def _spec_matmul_like(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    arr_args = [a for a in args if True]
+    if recv is not None:
+        arr_args = [recv] + list(args)
+    if len(arr_args) < 2:
+        return UNKNOWN
+    return _matmul_shapes(arr_args[0], arr_args[1], ctx, site)
+
+
+def _matmul_shapes(a: ShapeVal, b: ShapeVal, ctx, site) -> ShapeVal:
+    if not (a.is_array and b.is_array):
+        return UNKNOWN
+    ra, rb = len(a.dims), len(b.dims)
+    dtype = _promote_dtype(a.dtype, b.dtype)
+    if ra == 0 or rb == 0:
+        ctx.event(
+            "rank", site,
+            "matmul requires operands of rank >= 1; a rank-0 operand "
+            "was inferred",
+        )
+        return UNKNOWN
+    inner_a = a.dims[-1]
+    inner_b = b.dims[-2] if rb >= 2 else b.dims[0]
+    if _dims_definitely_unequal(inner_a, inner_b):
+        ctx.event(
+            "broadcast", site,
+            f"matmul inner dimensions are provably unequal "
+            f"({inner_a} vs {inner_b})",
+        )
+        return UNKNOWN
+    if ra == 1 and rb == 1:
+        return ShapeVal("num", dtype=dtype)
+    if ra == 1:
+        return array_of(b.dims[:-2] + b.dims[-1:], dtype)
+    if rb == 1:
+        return array_of(a.dims[:-1], dtype)
+    return array_of(a.dims[:-2] + (a.dims[-2], b.dims[-1]), dtype)
+
+
+def _spec_elementwise(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    """abs/exp/sqrt/...: shape-preserving on the first array argument."""
+    arr = recv if recv is not None and recv.is_array else _first_array(args)
+    if arr is None:
+        return UNKNOWN
+    return arr
+
+
+def _spec_broadcast_pair(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    """maximum/minimum/where-style broadcasting over array arguments."""
+    arrays = [a for a in args if a.is_array]
+    if not arrays:
+        return UNKNOWN
+    dims = arrays[0].dims
+    dtype = arrays[0].dtype
+    for other in arrays[1:]:
+        merged, bad = broadcast_dims(dims, other.dims)
+        if bad:
+            ctx.event(
+                "broadcast", site,
+                f"operands with provably incompatible shapes "
+                f"{_fmt_dims(dims)} and {_fmt_dims(other.dims)}",
+            )
+            return UNKNOWN
+        dims = merged
+        dtype = _promote_dtype(dtype, other.dtype)
+    return array_of(dims, dtype)
+
+
+def _spec_astype(recv, args, kwargs, ctx) -> ShapeVal:
+    if recv is None or not recv.is_array:
+        return UNKNOWN
+    dtype = _dtype_arg(args[0] if args else kwargs.get("dtype"))
+    return array_of(recv.dims, dtype or None)
+
+
+def _spec_copy_method(recv, args, kwargs, ctx) -> ShapeVal:
+    if recv is not None and recv.is_array:
+        return recv
+    return _spec_elementwise(recv, args, kwargs, ctx)
+
+
+def _spec_ravel(recv, args, kwargs, ctx) -> ShapeVal:
+    arr = recv if recv is not None and recv.is_array else _first_array(args)
+    if arr is None:
+        return UNKNOWN
+    dims = arr.dims
+    if all(isinstance(d, int) for d in dims):
+        total = 1
+        for d in dims:
+            total *= d
+        return array_of((total,), arr.dtype)
+    if len(dims) == 1:
+        return arr
+    return array_of((None,), arr.dtype)
+
+
+def _spec_squeeze(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    arr = recv if recv is not None and recv.is_array else _first_array(args)
+    if arr is None:
+        return UNKNOWN
+    axis = _axis_value(args if recv is not None else args[1:], kwargs)
+    if axis is not None and axis.kind == "int" and isinstance(
+        axis.value, int
+    ):
+        idx = _check_axis(arr, axis, ctx, site)
+        if idx is None:
+            return UNKNOWN
+        dims = list(arr.dims)
+        if dims[idx] == 1:
+            del dims[idx]
+            return array_of(dims, arr.dtype)
+        return UNKNOWN
+    if all(isinstance(d, int) for d in arr.dims):
+        return array_of(
+            tuple(d for d in arr.dims if d != 1), arr.dtype
+        )
+    return UNKNOWN
+
+
+def _spec_cumulative(recv, args, kwargs, ctx, site=None) -> ShapeVal:
+    """cumsum/cumprod: flatten without axis, shape-preserving with."""
+    arr = recv if recv is not None and recv.is_array else _first_array(args)
+    if arr is None:
+        return UNKNOWN
+    axis = _axis_value(args if recv is not None else args[1:], kwargs)
+    if axis is None or axis.kind == "none":
+        return _spec_ravel(recv, args, kwargs, ctx)
+    if _check_axis(arr, axis, ctx, site) is None:
+        return UNKNOWN
+    return arr
+
+
+def _spec_scalar_cast(dtype: str):
+    def handler(recv, args, kwargs, ctx) -> ShapeVal:
+        if args and args[0].is_array:
+            return array_of(args[0].dims, dtype)
+        return ShapeVal("num", dtype=dtype)
+    return handler
+
+
+#: Module-level numpy function specs (``np.<fn>`` or bare imports).
+NUMPY_SPECS: Dict[str, Callable] = {
+    "zeros": _spec_constructor,
+    "ones": _spec_constructor,
+    "empty": _spec_constructor,
+    "full": _spec_constructor,
+    "zeros_like": _spec_like,
+    "ones_like": _spec_like,
+    "empty_like": _spec_like,
+    "full_like": _spec_like,
+    "asarray": _spec_asarray,
+    "array": _spec_asarray,
+    "ascontiguousarray": _spec_asarray,
+    "arange": _spec_arange,
+    "linspace": _spec_linspace,
+    "concatenate": _spec_concatenate,
+    "stack": _spec_stack,
+    "reshape": _spec_reshape,
+    "transpose": _spec_transpose,
+    "atleast_1d": _spec_atleast_1d,
+    "atleast_2d": _spec_atleast_2d,
+    "expand_dims": _spec_expand_dims,
+    "squeeze": _spec_squeeze,
+    "ravel": _spec_ravel,
+    "sum": _spec_reduce,
+    "mean": _spec_reduce,
+    "max": _spec_reduce,
+    "min": _spec_reduce,
+    "amax": _spec_reduce,
+    "amin": _spec_reduce,
+    "prod": _spec_reduce,
+    "std": _spec_reduce,
+    "var": _spec_reduce,
+    "argmax": _spec_index_reduce,
+    "argmin": _spec_index_reduce,
+    "any": _spec_index_reduce,
+    "all": _spec_index_reduce,
+    "cumsum": _spec_cumulative,
+    "cumprod": _spec_cumulative,
+    "dot": _spec_matmul_like,
+    "matmul": _spec_matmul_like,
+    "maximum": _spec_broadcast_pair,
+    "minimum": _spec_broadcast_pair,
+    "where": _spec_broadcast_pair,
+    "clip": _spec_elementwise,
+    "abs": _spec_elementwise,
+    "exp": _spec_elementwise,
+    "log": _spec_elementwise,
+    "sqrt": _spec_elementwise,
+    "tanh": _spec_elementwise,
+    "sign": _spec_predicate,
+    "floor": _spec_elementwise,
+    "ceil": _spec_elementwise,
+    "rint": _spec_elementwise,
+    "isnan": _spec_predicate,
+    "isfinite": _spec_predicate,
+    "copy": _spec_copy_method,
+    "sort": _spec_elementwise,
+    "argsort": _spec_elementwise,
+    "float32": _spec_scalar_cast("float32"),
+    "float64": _spec_scalar_cast("float64"),
+    "int32": _spec_scalar_cast("int32"),
+    "int64": _spec_scalar_cast("int64"),
+}
+
+#: Specs whose handler takes a ``site`` kwarg (event-reporting specs).
+_SITE_SPECS = frozenset(
+    name for name, fn in NUMPY_SPECS.items()
+    if "site" in fn.__code__.co_varnames[:fn.__code__.co_argcount]
+)
+
+#: Array method specs (``x.<method>(...)``).
+METHOD_SPECS: Dict[str, Callable] = {
+    "reshape": _spec_reshape,
+    "astype": _spec_astype,
+    "copy": _spec_copy_method,
+    "transpose": _spec_transpose,
+    "ravel": _spec_ravel,
+    "flatten": _spec_ravel,
+    "squeeze": _spec_squeeze,
+    "sum": _spec_reduce,
+    "mean": _spec_reduce,
+    "max": _spec_reduce,
+    "min": _spec_reduce,
+    "prod": _spec_reduce,
+    "std": _spec_reduce,
+    "var": _spec_reduce,
+    "argmax": _spec_index_reduce,
+    "argmin": _spec_index_reduce,
+    "any": _spec_index_reduce,
+    "all": _spec_index_reduce,
+    "cumsum": _spec_cumulative,
+    "clip": _spec_elementwise,
+    "dot": _spec_matmul_like,
+    "tolist": lambda recv, args, kwargs, ctx: UNKNOWN,
+    "item": lambda recv, args, kwargs, ctx: ShapeVal("num"),
+}
+
+_METHOD_SITE_SPECS = frozenset(
+    name for name, fn in METHOD_SPECS.items()
+    if hasattr(fn, "__code__")
+    and "site" in fn.__code__.co_varnames[:fn.__code__.co_argcount]
+)
+
+
+#: Generator draw methods whose ``size=`` kwarg fixes the result shape.
+_RNG_DRAWS = frozenset([
+    "normal", "uniform", "lognormal", "standard_normal", "exponential",
+    "poisson", "integers", "random", "choice", "gamma", "beta",
+])
+
+#: Draws that always return float64 arrays.
+_FLOAT_DRAWS = frozenset([
+    "normal", "uniform", "lognormal", "standard_normal", "exponential",
+    "random", "gamma", "beta",
+])
+
+
+def _fmt_dims(dims: Tuple[Dim, ...]) -> str:
+    return "(" + ", ".join("?" if d is None else str(d) for d in dims) + ")"
+
+
+# Engine --------------------------------------------------------------------
+
+@dataclass
+class _FrameResult:
+    ret: ShapeVal = UNKNOWN
+    saw_return: bool = False
+
+
+class ShapeEngine:
+    """Interprocedural abstract interpreter over one project index."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        by_name: Dict[str, List[FunctionInfo]] = {}
+        for func in index.functions:
+            by_name.setdefault(func.name, []).append(func)
+        self._by_name = by_name
+        self.events: List[ShapeEvent] = []
+        self._event_keys: set = set()
+        self._active: set = set()
+        self._summaries: Dict[Tuple, ShapeVal] = {}
+        self._current: List[FunctionInfo] = []
+
+    # Event plumbing -----------------------------------------------------
+    def event(self, kind: str, site: Optional[Dict], message: str) -> None:
+        if not self._current:
+            return
+        func = self._current[-1]
+        line = func.line
+        column = func.column
+        if site:
+            line = site.get("ln", line)
+            column = site.get("c", column)
+        key = (kind, func.path, line, column, message)
+        if key in self._event_keys:
+            return
+        self._event_keys.add(key)
+        self.events.append(ShapeEvent(
+            kind=kind,
+            path=func.path,
+            line=line,
+            column=column,
+            message=message,
+            function=f"{func.module}.{func.qualname}",
+        ))
+
+    # Function-level inference ------------------------------------------
+    def infer_function(
+        self,
+        func: FunctionInfo,
+        params: Optional[Dict[str, ShapeVal]] = None,
+        depth: int = 0,
+    ) -> ShapeVal:
+        """Abstract return value of ``func`` under the given parameter
+        environment (missing parameters are unknown)."""
+        key = (func.path, func.line, _env_key(params))
+        if key in self._summaries:
+            return self._summaries[key]
+        if key in self._active or depth > _MAX_CALL_DEPTH:
+            return UNKNOWN
+        self._active.add(key)
+        self._current.append(func)
+        env: Dict[str, ShapeVal] = dict(params or {})
+        result = _FrameResult()
+        try:
+            self._exec_block(func.shape_stmts, env, result, depth)
+        finally:
+            self._current.pop()
+            self._active.discard(key)
+        ret = result.ret if result.saw_return else NONE
+        self._summaries[key] = ret
+        return ret
+
+    def _exec_block(
+        self,
+        stmts: List[Dict],
+        env: Dict[str, ShapeVal],
+        result: _FrameResult,
+        depth: int,
+    ) -> None:
+        for stmt in stmts:
+            op = stmt["s"]
+            if op == "assign":
+                val = self.eval_expr(stmt["e"], env, depth)
+                for name in stmt["t"]:
+                    env[name] = val
+            elif op == "clear":
+                for name in stmt["t"]:
+                    env.pop(name, None)
+            elif op == "return":
+                expr = stmt.get("e")
+                val = (
+                    self.eval_expr(expr, env, depth)
+                    if expr is not None else NONE
+                )
+                result.ret = (
+                    val if not result.saw_return
+                    else join_vals(result.ret, val)
+                )
+                result.saw_return = True
+            elif op == "if":
+                then_env = dict(env)
+                else_env = dict(env)
+                self._exec_block(stmt["body"], then_env, result, depth)
+                self._exec_block(stmt["orelse"], else_env, result, depth)
+                if stmt.get("raise_only"):
+                    # The guard never falls through; the else branch is
+                    # the only continuation.
+                    env.clear()
+                    env.update(else_env)
+                else:
+                    _join_envs(env, then_env, else_env)
+            elif op in ("for", "while"):
+                pre = dict(env)
+                body_env = dict(env)
+                target = stmt.get("t")
+                if target:
+                    body_env[target] = self._iter_element(
+                        stmt.get("iter"), env, depth
+                    )
+                self._exec_block(stmt["body"], body_env, result, depth)
+                _join_envs(env, pre, body_env)
+                if target:
+                    env.pop(target, None)
+            elif op == "expr":
+                self.eval_expr(stmt["e"], env, depth)
+
+    def _iter_element(
+        self, iter_ir: Optional[Dict], env: Dict[str, ShapeVal], depth: int
+    ) -> ShapeVal:
+        if iter_ir is None:
+            return UNKNOWN
+        src = self.eval_expr(iter_ir, env, depth)
+        if src.is_array and len(src.dims) >= 1:
+            if len(src.dims) == 1:
+                return ShapeVal("num", dtype=src.dtype)
+            return array_of(src.dims[1:], src.dtype)
+        return UNKNOWN
+
+    # Expression evaluation ---------------------------------------------
+    def eval_expr(
+        self, ir: Dict, env: Dict[str, ShapeVal], depth: int
+    ) -> ShapeVal:
+        kind = ir["k"]
+        if kind == "n":
+            return env.get(ir["id"], UNKNOWN)
+        if kind == "c":
+            return _const_val(ir)
+        if kind == "t":
+            return ShapeVal("tuple", elts=tuple(
+                self.eval_expr(e, env, depth) for e in ir["e"]
+            ))
+        if kind == "attr":
+            return self._eval_attr(ir, env, depth)
+        if kind == "sub":
+            return self._eval_subscript(ir, env, depth)
+        if kind == "b":
+            return self._eval_binop(ir, env, depth)
+        if kind == "u":
+            return self.eval_expr(ir["v"], env, depth)
+        if kind == "ife":
+            return join_vals(
+                self.eval_expr(ir["b"], env, depth),
+                self.eval_expr(ir["o"], env, depth),
+            )
+        if kind == "call":
+            return self._eval_call(ir, env, depth)
+        return UNKNOWN
+
+    def _eval_attr(
+        self, ir: Dict, env: Dict[str, ShapeVal], depth: int
+    ) -> ShapeVal:
+        attr = ir["at"]
+        base_ir = ir["b"]
+        if (
+            base_ir.get("k") == "n"
+            and base_ir.get("id") in ("np", "numpy")
+            and attr in _DTYPE_NAMES
+        ):
+            # ``np.float64`` used as a dtype= argument.
+            return ShapeVal("str", value=attr)
+        base = self.eval_expr(base_ir, env, depth)
+        if base.is_array:
+            if attr == "T":
+                return array_of(tuple(reversed(base.dims)), base.dtype)
+            if attr == "shape":
+                return ShapeVal("tuple", elts=tuple(
+                    int_of(d) for d in base.dims
+                ))
+            if attr == "ndim":
+                return int_of(len(base.dims))
+            if attr == "dtype":
+                return (
+                    ShapeVal("str", value=base.dtype)
+                    if base.dtype else UNKNOWN
+                )
+            if attr == "size":
+                if all(isinstance(d, int) for d in base.dims):
+                    total = 1
+                    for d in base.dims:
+                        total *= d
+                    return int_of(total)
+                return ShapeVal("int")
+        return UNKNOWN
+
+    def _eval_subscript(
+        self, ir: Dict, env: Dict[str, ShapeVal], depth: int
+    ) -> ShapeVal:
+        base = self.eval_expr(ir["b"], env, depth)
+        index = ir["i"]
+        if base.kind == "tuple":
+            if index["k"] == "i" and base.elts is not None:
+                i = index["v"]
+                if -len(base.elts) <= i < len(base.elts):
+                    return base.elts[i]
+            return UNKNOWN
+        if not base.is_array:
+            return UNKNOWN
+        parts = index["e"] if index["k"] == "tup" else [index]
+        dims: List[Dim] = []
+        consumed = 0
+        for part in parts:
+            pk = part["k"]
+            if pk == "i":
+                if consumed >= len(base.dims):
+                    return UNKNOWN
+                consumed += 1
+            elif pk == "sl":
+                if consumed >= len(base.dims):
+                    return UNKNOWN
+                dims.append(None)
+                consumed += 1
+            elif pk == "na":
+                dims.append(1)
+            else:
+                return UNKNOWN
+        dims.extend(base.dims[consumed:])
+        if not dims:
+            return ShapeVal("num", dtype=base.dtype)
+        return array_of(dims, base.dtype)
+
+    def _eval_binop(
+        self, ir: Dict, env: Dict[str, ShapeVal], depth: int
+    ) -> ShapeVal:
+        left = self.eval_expr(ir["l"], env, depth)
+        right = self.eval_expr(ir["r"], env, depth)
+        op = ir["op"]
+        site = ir
+        if op == "matmul":
+            return _matmul_shapes(left, right, self, site)
+        if left.kind == "int" and right.kind == "int":
+            if op == "add" and isinstance(left.value, int) and isinstance(
+                right.value, int
+            ):
+                return int_of(left.value + right.value)
+            if op == "mul" and isinstance(left.value, int) and isinstance(
+                right.value, int
+            ):
+                return int_of(left.value * right.value)
+            return ShapeVal("int")
+        if left.is_array or right.is_array:
+            if left.is_array and right.is_array:
+                merged, bad = broadcast_dims(left.dims, right.dims)
+                if bad:
+                    self.event(
+                        "broadcast", site,
+                        f"arithmetic on provably incompatible shapes "
+                        f"{_fmt_dims(left.dims)} and "
+                        f"{_fmt_dims(right.dims)}",
+                    )
+                    return UNKNOWN
+                dtype = _promote_dtype(left.dtype, right.dtype)
+                if (
+                    left.dtype in _FLOAT_ORDER
+                    and right.dtype in _FLOAT_ORDER
+                    and left.dtype != right.dtype
+                ):
+                    self.event(
+                        "promote", site,
+                        f"inferred {left.dtype} array meets "
+                        f"{right.dtype} array; the result silently "
+                        f"promotes to {dtype}",
+                    )
+                return array_of(merged, dtype)
+            arr = left if left.is_array else right
+            other = right if left.is_array else left
+            dtype = arr.dtype
+            if other.kind == "num" and other.dtype in _FLOAT_ORDER:
+                promoted = _promote_dtype(dtype, other.dtype)
+                if (
+                    dtype in _FLOAT_ORDER
+                    and other.dtype in _FLOAT_ORDER
+                    and promoted != dtype
+                ):
+                    self.event(
+                        "promote", site,
+                        f"inferred {dtype} array meets a strong "
+                        f"{other.dtype} scalar; the result silently "
+                        f"promotes to {promoted}",
+                    )
+                dtype = promoted
+            return array_of(arr.dims, dtype)
+        if left.kind == "num" or right.kind == "num":
+            return ShapeVal("num", dtype=_promote_dtype(
+                left.dtype, right.dtype
+            ))
+        return UNKNOWN
+
+    def _eval_call(
+        self, ir: Dict, env: Dict[str, ShapeVal], depth: int
+    ) -> ShapeVal:
+        fn = ir.get("fn")
+        if fn is None:
+            return UNKNOWN
+        recv_key = ir.get("recv")
+        args = [self.eval_expr(a, env, depth) for a in ir["a"]]
+        kwargs = {
+            k: self.eval_expr(v, env, depth)
+            for k, v in ir.get("kw", {}).items()
+        }
+        site = {"ln": ir.get("ln"), "c": ir.get("c")}
+        if ir.get("ln") is None:
+            site = None
+        # Module-style numpy call: bare import or an np/numpy receiver.
+        if recv_key in (None, "np", "numpy") and fn in NUMPY_SPECS:
+            handler = NUMPY_SPECS[fn]
+            if fn in _SITE_SPECS:
+                return handler(None, args, kwargs, self, site=site)
+            return handler(None, args, kwargs, self)
+        # Method call on a locally-inferred array.
+        if recv_key is not None and "." not in recv_key:
+            recv_val = env.get(recv_key)
+            if recv_val is not None and recv_val.is_array and (
+                fn in METHOD_SPECS
+            ):
+                handler = METHOD_SPECS[fn]
+                if fn in _METHOD_SITE_SPECS:
+                    return handler(recv_val, args, kwargs, self, site=site)
+                return handler(recv_val, args, kwargs, self)
+        # Sized generator draws (``rng.normal(..., size=...)``): the
+        # result shape is the ``size`` argument regardless of receiver.
+        if fn in _RNG_DRAWS and "size" in kwargs:
+            dims = _shape_arg_dims(kwargs["size"])
+            if dims is not None:
+                return array_of(
+                    dims, "float64" if fn in _FLOAT_DRAWS else None
+                )
+            return UNKNOWN
+        if fn == "len":
+            if args and args[0].is_array:
+                return int_of(args[0].dims[0])
+            if args and args[0].kind == "tuple":
+                return int_of(len(args[0].elts))
+            return ShapeVal("int")
+        if fn in ("float", "int"):
+            return ShapeVal("num" if fn == "float" else "int")
+        # Name-level interprocedural edge: unique callee in the index.
+        candidates = self._by_name.get(fn, [])
+        if len(candidates) == 1:
+            callee = candidates[0]
+            call_args = list(args)
+            params = list(callee.params)
+            if params and params[0] == "self":
+                params = params[1:]
+            callee_env = {
+                name: val for name, val in zip(params, call_args)
+            }
+            for name, val in kwargs.items():
+                if name in callee.params:
+                    callee_env[name] = val
+            return self.infer_function(callee, callee_env, depth + 1)
+        return UNKNOWN
+
+
+def _const_val(ir: Dict) -> ShapeVal:
+    t = ir["t"]
+    if t == "int":
+        return int_of(ir["v"])
+    if t == "bool":
+        return ShapeVal("int")
+    if t == "float":
+        return ShapeVal("num")  # weak Python float: never promotes
+    if t == "str":
+        return ShapeVal("str", value=ir["v"])
+    if t == "none":
+        return NONE
+    return UNKNOWN
+
+
+def _join_envs(
+    out: Dict[str, ShapeVal],
+    a: Dict[str, ShapeVal],
+    b: Dict[str, ShapeVal],
+) -> None:
+    out.clear()
+    for name in set(a) | set(b):
+        if name in a and name in b:
+            out[name] = join_vals(a[name], b[name])
+        # A name bound on only one path is unbound (unknown) after the
+        # join; leaving it out means lookups default to UNKNOWN.
+
+
+def _env_key(params: Optional[Dict[str, ShapeVal]]) -> Tuple:
+    if not params:
+        return ()
+    return tuple(sorted(
+        (name, repr(val)) for name, val in params.items()
+    ))
+
+
+# Batch-pair contract verification ------------------------------------------
+
+@dataclass
+class PairReport:
+    """Static verdict for one ``@batched_pair`` declaration."""
+
+    site: BatchPairSite
+    #: None when the decorator has no ``shapes=`` kwarg.
+    contract: Optional[Contract] = None
+    parse_error: Optional[str] = None
+    #: Inferred abstract return value (None when the function body was
+    #: not found in the index).
+    inferred: Optional[ShapeVal] = None
+    #: Leading dimension of the inferred return ("K" = dataflow-proven).
+    inferred_leading: Optional[Dim] = None
+    #: Provable contradiction between inference and the contract.
+    contradiction: Optional[str] = None
+    #: Events raised while re-running inference with ``K = 1``.
+    k1_events: List[ShapeEvent] = field(default_factory=list)
+
+    @property
+    def proven(self) -> bool:
+        """Contract present, well-formed, batch-axis-sound, and not
+        contradicted by inference (unknowns stay sound)."""
+        return (
+            self.contract is not None
+            and self.parse_error is None
+            and self.contract.binds_batch_axis
+            and self.contract.returns_batch_axis
+            and self.contradiction is None
+            and not self.k1_events
+        )
+
+
+def _seed_env(
+    func: FunctionInfo, contract: Contract, overrides: Dict[str, ShapeVal]
+) -> Dict[str, ShapeVal]:
+    params = list(func.params)
+    if params and params[0] == "self":
+        params = params[1:]
+    env: Dict[str, ShapeVal] = {}
+    for name, spec in zip(params, contract.params):
+        val = spec.seed()
+        if val is not UNKNOWN:
+            env[name] = val
+    env.update(overrides)
+    return env
+
+
+def _substitute_symbol(
+    env: Dict[str, ShapeVal], symbol: str, value: int
+) -> Dict[str, ShapeVal]:
+    out: Dict[str, ShapeVal] = {}
+    for name, val in env.items():
+        if val.kind == "int" and val.value == symbol:
+            out[name] = int_of(value)
+        elif val.is_array and symbol in val.dims:
+            out[name] = replace(val, dims=tuple(
+                value if d == symbol else d for d in val.dims
+            ))
+        else:
+            out[name] = val
+    return out
+
+
+def _find_function(
+    index: ProjectIndex, site: BatchPairSite
+) -> Optional[FunctionInfo]:
+    qualname = (
+        f"{site.class_name}.{site.batch_name}"
+        if site.class_name else site.batch_name
+    )
+    for func in index.functions:
+        if func.module == site.module and func.qualname == qualname:
+            return func
+    return None
+
+
+def _check_contradiction(
+    contract: Contract, inferred: ShapeVal
+) -> Optional[str]:
+    spec = contract.ret
+    if spec is None or spec.kind == "any":
+        return None
+    if not inferred.is_array:
+        return None  # unknown / scalar inference cannot contradict
+    if spec.kind == "scalar":
+        return (
+            f"contract declares a scalar return but inference derived "
+            f"an array of shape {_fmt_dims(inferred.dims)}"
+        )
+    if spec.kind == "int":
+        return None
+    if len(inferred.dims) != len(spec.dims):
+        return (
+            f"contract declares a rank-{len(spec.dims)} return but "
+            f"inference derived rank {len(inferred.dims)} "
+            f"({_fmt_dims(inferred.dims)})"
+        )
+    for got, want in zip(inferred.dims, spec.dims):
+        if want is None:
+            continue
+        if isinstance(want, int) and isinstance(got, int) and got != want:
+            return (
+                f"contract declares return dims {_fmt_dims(spec.dims)} "
+                f"but inference derived {_fmt_dims(inferred.dims)}"
+            )
+        if (
+            isinstance(want, str) and isinstance(got, str) and got != want
+        ):
+            return (
+                f"contract declares return dims {_fmt_dims(spec.dims)} "
+                f"but inference derived {_fmt_dims(inferred.dims)}"
+            )
+    return None
+
+
+def batch_contract_report(index: ProjectIndex) -> List[PairReport]:
+    """Verify every ``@batched_pair`` contract against the dataflow.
+
+    For each registered pair this parses its ``shapes=`` contract, seeds
+    the batch function's parameters from it, runs the abstract
+    interpreter, and re-runs with ``K`` collapsed to 1 to prove the
+    single-row path shape-safe.  The per-pair :class:`PairReport` is the
+    raw material of the V2 rules and the registry sweep test.
+    """
+    reports: List[PairReport] = []
+    for site in sorted(
+        index.batch_pairs, key=lambda s: (s.path, s.line, s.batch_name)
+    ):
+        report = PairReport(site=site)
+        reports.append(report)
+        if site.shapes is None:
+            continue
+        try:
+            contract = parse_contract(site.shapes)
+        except ContractError as exc:
+            report.parse_error = str(exc)
+            continue
+        report.contract = contract
+        func = _find_function(index, site)
+        if func is None:
+            continue
+        engine = ShapeEngine(index)
+        env = _seed_env(func, contract, {})
+        inferred = engine.infer_function(func, env)
+        report.inferred = inferred
+        if inferred.is_array and inferred.dims:
+            report.inferred_leading = inferred.dims[0]
+        report.contradiction = _check_contradiction(contract, inferred)
+        # K = 1 collapse: the single-row path must raise no provable
+        # shape errors either.
+        k1_engine = ShapeEngine(index)
+        k1_env = _substitute_symbol(env, BATCH_SYMBOL, 1)
+        k1_engine.infer_function(func, k1_env)
+        report.k1_events = [
+            e for e in k1_engine.events if e.kind != "promote"
+        ]
+    return reports
+
+
+def hotpath_events(
+    index: ProjectIndex, roots: Sequence[str]
+) -> Iterator[ShapeEvent]:
+    """Run inference over every function reachable from the hot-path
+    roots (plus the roots themselves) with unknown parameters, yielding
+    the provable contradictions — the V101/V102/V103/V105 feed."""
+    by_name: Dict[str, List[FunctionInfo]] = {}
+    for func in index.functions:
+        by_name.setdefault(func.name, []).append(func)
+    reachable: set = set()
+    frontier = [n for n in roots if n in by_name]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        for func in by_name[name]:
+            for callee in func.calls:
+                if callee not in reachable and callee in by_name:
+                    frontier.append(callee)
+    engine = ShapeEngine(index)
+    for func in sorted(
+        index.functions, key=lambda f: (f.path, f.line)
+    ):
+        if func.name in reachable:
+            engine.infer_function(func)
+    yield from engine.events

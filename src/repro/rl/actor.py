@@ -89,7 +89,7 @@ class Actor:
         action = network.predict(self.normalize(np.atleast_2d(state)))[0]
         return self._mix(action)
 
-    @batched_pair("act")
+    @batched_pair("act", shapes="(K, state_dim), _ -> (K, action_dim)")
     def act_batch(
         self, states: np.ndarray, network: Optional[MLP] = None
     ) -> np.ndarray:

@@ -631,7 +631,7 @@ class BatchedMicroservice:
             )
         self._dispatch()
 
-    @batched_pair("publish")
+    @batched_pair("publish", shapes="(K,) -> _")
     def publish_many(self, tasks) -> None:
         """Enqueue a batch of task indices, then dispatch once.
 

@@ -199,7 +199,7 @@ class RequestPool:
         self.num_workflows = i + 1
         return i
 
-    @batched_pair("add_workflow")
+    @batched_pair("add_workflow", shapes="K, _, _, _, _, (n_task_types,) -> _")
     def add_workflows(
         self,
         count: int,
@@ -244,7 +244,7 @@ class RequestPool:
         self.num_tasks = i + 1
         return i
 
-    @batched_pair("add_task")
+    @batched_pair("add_task", shapes="(K,), (K,), _ -> (K,)")
     def add_tasks(self, task_types, workflows, published_at) -> np.ndarray:
         """Append a batch of task rows; returns their indices in order.
 

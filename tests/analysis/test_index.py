@@ -268,3 +268,88 @@ class TestConfigFingerprintKeying:
         a = LintConfig(root=tmp_path, cache="one.json")
         b = LintConfig(root=tmp_path, cache="two.json")
         assert a.fingerprint() == b.fingerprint()
+
+
+class TestCacheVersionSkew:
+    """The version gate: a cache produced by any other INDEX_VERSION is
+    discarded, whatever its digest says.
+
+    Each test poisons the cached symbol table while keeping the JSON
+    well-formed: a cache *hit* serves the poison, a rebuild restores
+    the truth — so the assertions can tell the two paths apart."""
+
+    def _prime_and_poison(self, tmp_path, mutate=None):
+        cache = tmp_path / "cache.json"
+        project = write_project(tmp_path / "src", {"a.py": "x = 1\n"})
+        load_or_build_index(project, cache_path=cache)
+        data = json.loads(cache.read_text(encoding="utf-8"))
+        data["symbols"]["a"] = ["poisoned"]
+        if mutate is not None:
+            mutate(data)
+        cache.write_text(json.dumps(data), encoding="utf-8")
+        return cache, project
+
+    def test_valid_cache_is_trusted(self, tmp_path):
+        # Control for the skew tests: with version and digest intact
+        # the poisoned payload IS served, proving the rebuild
+        # assertions below detect real rebuilds.
+        cache, project = self._prime_and_poison(tmp_path)
+        index = load_or_build_index(project, cache_path=cache)
+        assert index.symbols["a"] == ["poisoned"]
+
+    def test_older_version_forces_rebuild(self, tmp_path):
+        cache, project = self._prime_and_poison(
+            tmp_path, lambda d: d.update(version=INDEX_VERSION - 1)
+        )
+        index = load_or_build_index(project, cache_path=cache)
+        assert index.symbols["a"] == ["x"]
+        # The rebuild re-keys the cache at the current version.
+        assert json.loads(cache.read_text())["version"] == INDEX_VERSION
+
+    def test_newer_version_is_not_trusted(self, tmp_path):
+        # Version skew cuts both ways: a cache from a newer checkout
+        # (e.g. after a branch switch) must not be deserialised.
+        cache, project = self._prime_and_poison(
+            tmp_path, lambda d: d.update(version=INDEX_VERSION + 1)
+        )
+        index = load_or_build_index(project, cache_path=cache)
+        assert index.symbols["a"] == ["x"]
+
+    def test_index_version_bump_invalidates_cache(
+        self, tmp_path, monkeypatch
+    ):
+        # Simulate the next schema bump: the constant moves, every
+        # existing cache (valid today) is discarded on first load.
+        cache, project = self._prime_and_poison(tmp_path)
+        monkeypatch.setattr(
+            "repro.analysis.index.INDEX_VERSION", INDEX_VERSION + 1
+        )
+        index = load_or_build_index(project, cache_path=cache)
+        assert index.symbols["a"] == ["x"]
+
+    def test_fingerprint_change_bypasses_stale_cache(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        project = write_project(tmp_path / "src", {"a.py": "x = 1\n"})
+        load_or_build_index(project, cache_path=cache, fingerprint="one")
+        data = json.loads(cache.read_text(encoding="utf-8"))
+        data["symbols"]["a"] = ["poisoned"]
+        cache.write_text(json.dumps(data), encoding="utf-8")
+        index = load_or_build_index(
+            project, cache_path=cache, fingerprint="two"
+        )
+        assert index.symbols["a"] == ["x"]
+
+    def test_missing_payload_keys_fall_back_to_rebuild(self, tmp_path):
+        cache, project = self._prime_and_poison(
+            tmp_path,
+            lambda d: [d.pop("functions"), d.pop("batch_pairs")],
+        )
+        index = load_or_build_index(project, cache_path=cache)
+        assert index.symbols["a"] == ["x"]
+
+    def test_wrong_payload_types_fall_back_to_rebuild(self, tmp_path):
+        cache, project = self._prime_and_poison(
+            tmp_path, lambda d: d.update(imports=17)
+        )
+        index = load_or_build_index(project, cache_path=cache)
+        assert index.symbols["a"] == ["x"]

@@ -30,6 +30,18 @@ PACKAGE = {
             return total
     """).lstrip("\n"),
     "pkg/broken.py": "def oops(:\n",
+    # A contract-less batch pair: the V2 family runs in the project
+    # tier, so its findings must survive the parallel merge too.
+    "pkg/pairs.py": textwrap.dedent("""
+        from repro.utils.batchpairs import batched_pair
+
+        def predict(s):
+            return s
+
+        @batched_pair("predict")
+        def predict_batch(states):
+            return states
+    """).lstrip("\n"),
 }
 
 
@@ -68,6 +80,7 @@ class TestParallelDeterminism:
         rules = {f.rule for f in run(tmp_path, jobs=4).findings}
         assert "N102" in rules  # project-tier rule (parent process)
         assert "D101" in rules  # per-file rule (worker process)
+        assert "V201" in rules  # shape-contract rule (project tier)
 
     def test_single_file_stays_serial(self, tmp_path):
         path = tmp_path / "one.py"
@@ -88,6 +101,43 @@ class TestJobsCli:
         (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
         code = main([
             "--root", str(tmp_path), "--jobs", "2", str(tmp_path / "ok.py"),
+        ])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestJobsDefault:
+    """``--jobs`` omitted: auto-detect the CPU count, and stay
+    byte-identical to an explicit serial run."""
+
+    def test_default_matches_explicit_serial_byte_for_byte(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import os
+
+        write_package(tmp_path)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        code_default = main([
+            "--root", str(tmp_path), "--no-cache", str(tmp_path),
+        ])
+        default_out = capsys.readouterr().out
+        code_serial = main([
+            "--root", str(tmp_path), "--no-cache", "--jobs", "1",
+            str(tmp_path),
+        ])
+        serial_out = capsys.readouterr().out
+        assert code_default == code_serial
+        assert default_out == serial_out
+
+    def test_unknown_cpu_count_falls_back_to_serial(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        code = main([
+            "--root", str(tmp_path), "--no-cache", str(tmp_path / "ok.py"),
         ])
         assert code == 0
         assert "0 finding(s)" in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""Positive/negative coverage for the V2 (batch-axis contract) family.
+
+Every ``@batched_pair`` twin must carry a ``shapes=`` contract that the
+abstract interpreter can verify: the batch symbol ``K`` bound in the
+inputs, carried to the return, never contradicted by dataflow, and
+still shape-safe when the batch collapses to a single row.
+"""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+V2 = {"V201", "V202", "V203", "V204"}
+
+PROVEN_PAIR = src("""
+    from repro.utils.batchpairs import batched_pair
+
+    def scale(v, f):
+        return v * f
+
+    @batched_pair("scale", shapes="(K, dim), () -> (K, dim)")
+    def scale_batch(vs, f):
+        return vs * f
+""")
+
+
+class TestV201ContractPresence:
+    def test_flags_missing_shapes_contract(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def predict(s):
+                return s
+
+            @batched_pair("predict")
+            def predict_batch(states):
+                return states
+        """))
+        assert "V201" in rules_of(findings)
+
+    def test_flags_unparseable_contract(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def predict(s):
+                return s
+
+            @batched_pair("predict", shapes="(K, state_dim")
+            def predict_batch(states):
+                return states
+        """))
+        assert "V201" in rules_of(findings)
+
+    def test_declared_contract_is_clean(self, lint):
+        assert rules_of(lint(PROVEN_PAIR)).isdisjoint(V2)
+
+
+class TestV202BatchAxisBinding:
+    def test_flags_contract_that_never_binds_k(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def scale(v):
+                return v
+
+            @batched_pair("scale", shapes="(n, dim) -> (n, dim)")
+            def scale_batch(vs):
+                return vs
+        """))
+        assert "V202" in rules_of(findings)
+
+    def test_flags_return_without_leading_k(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def scale(v):
+                return v
+
+            @batched_pair("scale", shapes="(K, dim) -> (dim, K)")
+            def scale_batch(vs):
+                return vs
+        """))
+        assert "V202" in rules_of(findings)
+
+    def test_unchecked_return_is_clean(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def record(v):
+                return None
+
+            @batched_pair("record", shapes="(K, dim) -> _")
+            def record_batch(vs):
+                return None
+        """))
+        assert rules_of(findings).isdisjoint(V2)
+
+
+class TestV203DataflowContradiction:
+    def test_flags_transposed_return(self, lint):
+        findings = lint(src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def flip(v):
+                return v
+
+            @batched_pair("flip", shapes="(K, dim) -> (K, dim)")
+            def flip_batch(vs):
+                return vs.T
+        """))
+        assert "V203" in rules_of(findings)
+
+    def test_consistent_dataflow_is_clean(self, lint):
+        assert "V203" not in rules_of(lint(PROVEN_PAIR))
+
+
+class TestV204SingleRowCollapse:
+    def test_flags_k1_unsafe_squeeze(self, lint):
+        # squeeze() keeps a symbolic (K,) intact but collapses (1,) to
+        # rank 0, so the matmul only breaks on the K=1 path.
+        findings = lint(src("""
+            import numpy as np
+            from repro.utils.batchpairs import batched_pair
+
+            def fold(v):
+                return v
+
+            @batched_pair("fold", shapes="(K,) -> (K,)")
+            def fold_batch(vs):
+                flat = np.squeeze(vs)
+                return np.matmul(flat, np.ones((2,)))
+        """))
+        assert "V204" in rules_of(findings)
+
+    def test_k1_safe_pair_is_clean(self, lint):
+        assert "V204" not in rules_of(lint(PROVEN_PAIR))

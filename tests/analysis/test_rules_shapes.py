@@ -1,0 +1,215 @@
+"""Positive/negative coverage for the V1 (shape discipline) family.
+
+The hot-path closure is rooted at the configured ``hotpath_roots``
+(``step`` / ``predict_batch`` by default), so fixtures name their
+entrypoint ``step``; off-path contradictions must stay silent because
+the rules only fire on code the training loop actually executes.
+"""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestV101BroadcastMismatch:
+    def test_flags_provably_unequal_operands(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                a = np.zeros((3,))
+                b = np.ones((4,))
+                return a + b
+        """))
+        assert "V101" in rules_of(findings)
+
+    def test_flags_matmul_inner_dim_mismatch(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                return np.zeros((3, 4)) @ np.ones((5, 6))
+        """))
+        assert "V101" in rules_of(findings)
+
+    def test_compatible_shapes_are_clean(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                a = np.zeros((3, 1))
+                b = np.ones((4,))
+                return a + b
+        """))
+        assert "V101" not in rules_of(findings)
+
+    def test_symbolic_dim_is_never_provable(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(n):
+                a = np.zeros(n)
+                b = np.ones((4,))
+                return a + b
+        """))
+        assert "V101" not in rules_of(findings)
+
+    def test_off_hotpath_mismatch_is_silent(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def helper(x):
+                return np.zeros((3,)) + np.ones((4,))
+        """))
+        assert "V101" not in rules_of(findings)
+
+    def test_mismatch_in_hotpath_callee_is_flagged(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def helper(x):
+                return np.zeros((3,)) + np.ones((4,))
+
+            def step(x):
+                return helper(x)
+        """))
+        assert "V101" in rules_of(findings)
+
+
+class TestV102RankViolation:
+    def test_flags_rank0_matmul_operand(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                a = np.squeeze(np.ones((1, 1)))
+                return np.matmul(a, np.zeros((3, 3)))
+        """))
+        assert "V102" in rules_of(findings)
+
+    def test_well_ranked_matmul_is_clean(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                return np.matmul(np.ones((3, 4)), np.zeros((4, 5)))
+        """))
+        assert "V102" not in rules_of(findings)
+
+
+class TestV103AxisOutOfRange:
+    def test_flags_axis_beyond_inferred_rank(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                return np.sum(np.zeros((3,)), axis=1)
+        """))
+        assert "V103" in rules_of(findings)
+
+    def test_in_range_axis_is_clean(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                return np.sum(np.zeros((3, 4)), axis=1)
+        """))
+        assert "V103" not in rules_of(findings)
+
+    def test_unknown_rank_is_never_provable(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                return np.sum(np.asarray(x), axis=3)
+        """))
+        assert "V103" not in rules_of(findings)
+
+
+class TestV104RankDispatch:
+    def test_flags_ndim_branch_on_hotpath(self, lint):
+        findings = lint(src("""
+            def helper(x):
+                if x.ndim == 1:
+                    return x * 2.0
+                return x
+
+            def step(x):
+                return helper(x)
+        """))
+        assert "V104" in rules_of(findings)
+
+    def test_raise_only_guard_is_exempt(self, lint):
+        findings = lint(src("""
+            def helper(x):
+                if x.ndim != 2:
+                    raise ValueError("rank")
+                return x
+
+            def step(x):
+                return helper(x)
+        """))
+        assert "V104" not in rules_of(findings)
+
+    def test_shape_size_logic_is_exempt(self, lint):
+        # Buffer reuse / empty-batch early-outs branch on `.shape`
+        # sizes, not rank — by design not rank dispatch.
+        findings = lint(src("""
+            def helper(x):
+                if x.shape[0] == 0:
+                    return x
+                return x * 2.0
+
+            def step(x):
+                return helper(x)
+        """))
+        assert "V104" not in rules_of(findings)
+
+    def test_off_hotpath_dispatch_is_silent(self, lint):
+        findings = lint(src("""
+            def helper(x):
+                if x.ndim == 1:
+                    return x * 2.0
+                return x
+        """))
+        assert "V104" not in rules_of(findings)
+
+
+class TestV105InferredPromotion:
+    def test_flags_float32_meeting_float64(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                a = np.zeros((3,), dtype=np.float32)
+                b = np.ones((3,), dtype=np.float64)
+                return a + b
+        """))
+        assert "V105" in rules_of(findings)
+
+    def test_matching_dtypes_are_clean(self, lint):
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                a = np.zeros((3,), dtype=np.float32)
+                b = np.ones((3,), dtype=np.float32)
+                return a + b
+        """))
+        assert "V105" not in rules_of(findings)
+
+    def test_weak_python_float_does_not_promote(self, lint):
+        # `arr * 2.0` stays float32 under NEP 50 semantics: a Python
+        # float literal must never count as a float64 operand.
+        findings = lint(src("""
+            import numpy as np
+
+            def step(x):
+                a = np.zeros((3,), dtype=np.float32)
+                return a * 2.0
+        """))
+        assert "V105" not in rules_of(findings)

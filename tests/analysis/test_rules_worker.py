@@ -1,0 +1,152 @@
+"""Positive/negative coverage for the W1 (worker payload) family.
+
+Everything shipped into a pool dispatch (``pool.map``/``submit``,
+``Process(target=...)``) must survive pickling into the child: no
+lambdas or local defs (W101), no open handles or live RNG generators
+(W102), no tracer/sink references (W103).
+"""
+
+import textwrap
+
+from tests.analysis.conftest import rules_of
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+class TestW101UnpicklableCallables:
+    def test_flags_lambda_payload(self, lint):
+        findings = lint(src("""
+            def work(x, key):
+                return key(x)
+
+            def run(pool, xs):
+                return pool.submit(work, xs, lambda x: x + 1)
+        """))
+        assert "W101" in rules_of(findings)
+
+    def test_flags_locally_defined_payload(self, lint):
+        findings = lint(src("""
+            def work(x, cb):
+                return cb(x)
+
+            def run(pool, xs):
+                def callback(x):
+                    return x + 1
+                return pool.map(work, xs, callback)
+        """))
+        assert "W101" in rules_of(findings)
+
+    def test_module_level_callable_is_clean(self, lint):
+        findings = lint(src("""
+            def work(x, cb):
+                return cb(x)
+
+            def callback(x):
+                return x + 1
+
+            def run(pool, xs):
+                return pool.map(work, xs, callback)
+        """))
+        assert "W101" not in rules_of(findings)
+
+
+class TestW102HandlesAndGenerators:
+    def test_flags_open_handle_bound_to_a_name(self, lint):
+        findings = lint(src("""
+            def work(handle):
+                return handle.read()
+
+            def run(pool, path):
+                handle = open(path)
+                return pool.submit(work, handle)
+        """))
+        assert "W102" in rules_of(findings)
+
+    def test_flags_rng_generator_payload(self, lint):
+        findings = lint(src("""
+            from numpy.random import default_rng
+
+            def work(rng):
+                return rng.normal()
+
+            def run(pool):
+                rng = default_rng(0)
+                return pool.submit(work, rng)
+        """))
+        assert "W102" in rules_of(findings)
+
+    def test_flags_call_result_shipped_directly(self, lint):
+        findings = lint(src("""
+            def work(handle):
+                return handle.read()
+
+            def run(pool, path):
+                return pool.submit(work, open(path))
+        """))
+        assert "W102" in rules_of(findings)
+
+    def test_plain_data_payload_is_clean(self, lint):
+        # The endorsed pattern: ship the path and the seed, reconstruct
+        # the handle and the generator inside the worker.
+        findings = lint(src("""
+            def work(path, seed):
+                return path, seed
+
+            def run(pool, path):
+                return pool.submit(work, path, 7)
+        """))
+        assert rules_of(findings).isdisjoint({"W101", "W102", "W103"})
+
+
+class TestW103TelemetryObjects:
+    def test_flags_tracer_bound_to_a_name(self, lint):
+        findings = lint(src("""
+            from repro.telemetry.tracer import Tracer
+
+            def work(tracer):
+                return tracer
+
+            def run(pool, sink):
+                tracer = Tracer(sink)
+                return pool.submit(work, tracer)
+        """))
+        assert "W103" in rules_of(findings)
+
+    def test_flags_tracer_attribute_chain(self, lint):
+        findings = lint(src("""
+            def work(t):
+                return t
+
+            class Runner:
+                def run(self, executor, xs):
+                    return executor.submit(work, self.tracer)
+        """))
+        assert "W103" in rules_of(findings)
+
+    def test_flags_sink_shipped_through_process_args(self, lint):
+        findings = lint(src("""
+            from multiprocessing import Process
+            from repro.telemetry.sinks import JsonlSink
+
+            def work(sink):
+                return sink
+
+            def run(path):
+                p = Process(target=work, args=(JsonlSink(path),))
+                p.start()
+                return p
+        """))
+        assert "W103" in rules_of(findings)
+
+    def test_non_telemetry_attribute_is_clean(self, lint):
+        findings = lint(src("""
+            def work(c):
+                return c
+
+            class Runner:
+                def run(self, executor, xs):
+                    return executor.submit(work, self.config)
+        """))
+        assert "W103" not in rules_of(findings)

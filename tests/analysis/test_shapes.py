@@ -1,0 +1,374 @@
+"""The shape-inference substrate: domain, algebra, contracts, engine.
+
+Covers :mod:`repro.analysis.shapes` directly — the abstract value
+domain and its join, the broadcast algebra (provable-error semantics),
+the ``shapes=`` contract grammar, the interprocedural engine, and the
+per-pair contract verdicts.  The V/W rule families built on top are
+covered in test_rules_shapes / test_rules_batchaxis / test_rules_worker;
+the registry sweep at the bottom is the acceptance gate that every
+``@batched_pair`` in the library carries a dataflow-proven contract.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.index import build_index
+from repro.analysis.project import Project, discover_files, parse_module
+from repro.analysis.shapes import (
+    BATCH_SYMBOL,
+    UNKNOWN,
+    ContractError,
+    ShapeEngine,
+    ShapeVal,
+    array_of,
+    batch_contract_report,
+    broadcast_dims,
+    int_of,
+    join_vals,
+    parse_contract,
+)
+from tests.analysis.conftest import repo_root
+
+
+def src(code):
+    return textwrap.dedent(code).lstrip("\n")
+
+
+def index_of(tmp_path, files):
+    """Write ``{relative_path: source}`` and build a ProjectIndex."""
+    for rel, code in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(code, encoding="utf-8")
+    modules = []
+    for path in discover_files([tmp_path]):
+        module, error = parse_module(path, root=tmp_path)
+        assert error is None, f"fixture must parse: {error}"
+        modules.append(module)
+    return build_index(Project(modules))
+
+
+def function_named(index, name):
+    matches = [f for f in index.functions if f.name == name]
+    assert len(matches) == 1, f"expected one {name!r}, got {matches}"
+    return matches[0]
+
+
+def infer(tmp_path, code, name):
+    """Infer the abstract return value of ``name`` (unknown params)."""
+    index = index_of(tmp_path, {"mod.py": src(code)})
+    engine = ShapeEngine(index)
+    return engine.infer_function(function_named(index, name)), engine
+
+
+class TestShapeValDomain:
+    def test_array_rank_and_kind(self):
+        val = array_of((3, "K"), "float64")
+        assert val.is_array
+        assert val.rank == 2
+        assert not int_of(3).is_array
+        assert int_of(3).rank is None
+
+    def test_join_identical_is_identity(self):
+        val = array_of((3, 4), "float32")
+        assert join_vals(val, val) == val
+
+    def test_join_same_rank_widens_differing_dims(self):
+        joined = join_vals(
+            array_of((3, 4), "float32"), array_of((3, 5), "float64")
+        )
+        assert joined.dims == (3, None)
+        assert joined.dtype is None  # dtype disagreement widens too
+
+    def test_join_rank_mismatch_is_unknown(self):
+        assert join_vals(array_of((3,)), array_of((3, 4))) is UNKNOWN
+
+    def test_join_ints_forgets_the_value(self):
+        joined = join_vals(int_of(3), int_of(4))
+        assert joined.kind == "int"
+        assert joined.value is None
+
+    def test_join_across_kinds_is_unknown(self):
+        assert join_vals(array_of((3,)), int_of(3)) is UNKNOWN
+
+
+class TestBroadcastAlgebra:
+    def test_trailing_alignment(self):
+        dims, bad = broadcast_dims((3, 1), (4,))
+        assert (dims, bad) == ((3, 4), False)
+
+    def test_concrete_mismatch_is_provable(self):
+        dims, bad = broadcast_dims((3,), (4,))
+        assert bad
+        assert dims is None
+
+    def test_one_broadcasts_against_anything(self):
+        dims, bad = broadcast_dims((1,), (7,))
+        assert (dims, bad) == ((7,), False)
+
+    def test_symbol_vs_concrete_is_not_provable(self):
+        # K might be 3 at runtime: possible error, never a finding.
+        dims, bad = broadcast_dims((BATCH_SYMBOL,), (3,))
+        assert not bad
+        assert dims == (None,)
+
+    def test_matching_symbols_survive(self):
+        dims, bad = broadcast_dims(
+            (BATCH_SYMBOL, "dim"), (BATCH_SYMBOL, "dim")
+        )
+        assert (dims, bad) == ((BATCH_SYMBOL, "dim"), False)
+
+
+class TestContractGrammar:
+    def test_full_contract_round_trip(self):
+        contract = parse_contract("(K, state_dim), _ -> (K, action_dim)")
+        first, second = contract.params
+        assert first.kind == "array"
+        assert first.dims == ("K", "state_dim")
+        assert second.kind == "any"
+        assert contract.ret.dims == ("K", "action_dim")
+
+    def test_bare_identifier_binds_a_scalar_int(self):
+        contract = parse_contract("K, action_dim, _ -> (K, action_dim)")
+        assert contract.params[0].kind == "int"
+        assert contract.params[0].symbol == BATCH_SYMBOL
+        assert contract.binds_batch_axis
+
+    def test_empty_parens_and_digits(self):
+        contract = parse_contract("(), (K, 3) -> (K,)")
+        assert contract.params[0].kind == "scalar"
+        assert contract.params[1].dims == ("K", 3)
+
+    def test_batch_axis_properties(self):
+        assert not parse_contract("(n, d) -> (n, d)").binds_batch_axis
+        assert not parse_contract("(K, d) -> (d, K)").returns_batch_axis
+        # Unchecked / scalar / int returns never block the proof.
+        assert parse_contract("(K, d) -> _").returns_batch_axis
+        assert parse_contract("(K, d) -> ()").returns_batch_axis
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "(K",
+        "(K, d) ->",
+        "(K, d) -> (K,) junk",
+        "(K, d) -> (K,) @",
+    ])
+    def test_malformed_contracts_raise(self, bad):
+        with pytest.raises(ContractError):
+            parse_contract(bad)
+
+
+class TestEngineInference:
+    def test_constructor_shape_and_default_dtype(self, tmp_path):
+        ret, _ = infer(tmp_path, """
+            import numpy as np
+
+            def make():
+                return np.zeros((3, 4))
+        """, "make")
+        assert ret.dims == (3, 4)
+        assert ret.dtype == "float64"
+
+    def test_broadcast_result_shape(self, tmp_path):
+        ret, engine = infer(tmp_path, """
+            import numpy as np
+
+            def combine():
+                return np.zeros((3, 1)) + np.ones((4,))
+        """, "combine")
+        assert ret.dims == (3, 4)
+        assert engine.events == []
+
+    def test_provable_mismatch_raises_an_event(self, tmp_path):
+        _, engine = infer(tmp_path, """
+            import numpy as np
+
+            def clash():
+                return np.zeros((3,)) + np.ones((4,))
+        """, "clash")
+        assert [e.kind for e in engine.events] == ["broadcast"]
+
+    def test_axis_reduce_drops_the_axis(self, tmp_path):
+        ret, _ = infer(tmp_path, """
+            import numpy as np
+
+            def reduce():
+                return np.sum(np.zeros((3, 4)), axis=0)
+        """, "reduce")
+        assert ret.dims == (4,)
+
+    def test_matmul_contracts_the_inner_dims(self, tmp_path):
+        ret, _ = infer(tmp_path, """
+            import numpy as np
+
+            def mm():
+                return np.zeros((3, 4)) @ np.ones((4, 5))
+        """, "mm")
+        assert ret.dims == (3, 5)
+
+    def test_astype_rebinds_the_dtype(self, tmp_path):
+        ret, _ = infer(tmp_path, """
+            import numpy as np
+
+            def narrow():
+                wide = np.ones((2,))
+                return wide.astype(np.float32)
+        """, "narrow")
+        assert ret.dtype == "float32"
+
+    def test_branch_join_widens_disagreeing_dims(self, tmp_path):
+        ret, _ = infer(tmp_path, """
+            import numpy as np
+
+            def pick(flag):
+                if flag:
+                    out = np.zeros((3,))
+                else:
+                    out = np.zeros((4,))
+                return out
+        """, "pick")
+        assert ret.dims == (None,)
+
+    def test_interprocedural_call_edge(self, tmp_path):
+        ret, engine = infer(tmp_path, """
+            import numpy as np
+
+            def helper():
+                return np.zeros((3, 2))
+
+            def caller():
+                return helper() + np.ones((3, 2))
+        """, "caller")
+        assert ret.dims == (3, 2)
+        assert engine.events == []
+
+    def test_ambiguous_callee_stays_unknown(self, tmp_path):
+        index = index_of(tmp_path, {
+            "a.py": src("""
+                import numpy as np
+
+                def make():
+                    return np.zeros((3,))
+            """),
+            "b.py": src("""
+                import numpy as np
+
+                def make():
+                    return np.zeros((4,))
+            """),
+            "c.py": src("""
+                import numpy as np
+
+                def caller():
+                    return make() + np.ones((5,))
+            """),
+        })
+        engine = ShapeEngine(index)
+        engine.infer_function(function_named(index, "caller"))
+        assert engine.events == []  # two candidates: edge unknowable
+
+
+class TestBatchContractReport:
+    def test_sound_pair_is_proven_with_dataflow_leading_axis(self, tmp_path):
+        index = index_of(tmp_path, {"mod.py": src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def scale(v, f):
+                return v * f
+
+            @batched_pair("scale", shapes="(K, dim), () -> (K, dim)")
+            def scale_batch(vs, f):
+                return vs * f
+        """)})
+        (report,) = batch_contract_report(index)
+        assert report.proven
+        assert report.inferred_leading == BATCH_SYMBOL
+
+    def test_missing_contract_is_not_proven(self, tmp_path):
+        index = index_of(tmp_path, {"mod.py": src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def scale(v):
+                return v
+
+            @batched_pair("scale")
+            def scale_batch(vs):
+                return vs
+        """)})
+        (report,) = batch_contract_report(index)
+        assert not report.proven
+        assert report.contract is None
+
+    def test_transpose_contradicts_the_declared_return(self, tmp_path):
+        index = index_of(tmp_path, {"mod.py": src("""
+            from repro.utils.batchpairs import batched_pair
+
+            def flip(v):
+                return v
+
+            @batched_pair("flip", shapes="(K, dim) -> (K, dim)")
+            def flip_batch(vs):
+                return vs.T
+        """)})
+        (report,) = batch_contract_report(index)
+        assert report.contradiction is not None
+        assert not report.proven
+
+    def test_k1_collapse_failure_is_detected(self, tmp_path):
+        # squeeze() keeps a symbolic (K,) intact but collapses (1,) to
+        # a rank-0 scalar, so the matmul is only provably broken on the
+        # K=1 path — exactly the hazard the collapse re-run exists for.
+        index = index_of(tmp_path, {"mod.py": src("""
+            import numpy as np
+            from repro.utils.batchpairs import batched_pair
+
+            def fold(v):
+                return v
+
+            @batched_pair("fold", shapes="(K,) -> (K,)")
+            def fold_batch(vs):
+                flat = np.squeeze(vs)
+                return np.matmul(flat, np.ones((2,)))
+        """)})
+        (report,) = batch_contract_report(index)
+        assert [e.kind for e in report.k1_events] == ["rank"]
+        assert not report.proven
+
+
+def library_index():
+    """The real index over src/repro (cached per test session)."""
+    if not hasattr(library_index, "_cache"):
+        root = repo_root() / "src"
+        modules = []
+        for path in discover_files([root / "repro"]):
+            module, error = parse_module(path, root=root)
+            assert error is None, f"{path} must parse: {error}"
+            modules.append(module)
+        library_index._cache = build_index(Project(modules))
+    return library_index._cache
+
+
+class TestRegistrySweep:
+    """Acceptance gate: every ``@batched_pair`` twin in the library has
+    a dataflow-proven leading-batch-axis contract."""
+
+    def test_every_pair_contract_is_proven(self):
+        reports = batch_contract_report(library_index())
+        assert len(reports) >= 14  # the PR-5/PR-6 vectorised surface
+        unproven = [
+            f"{r.site.module}.{r.site.batch_name}"
+            for r in reports if not r.proven
+        ]
+        assert unproven == []
+
+    def test_inference_derives_the_leading_axis_strictly(self):
+        # For pairs whose bodies the interpreter can follow end-to-end
+        # the leading axis is *derived*, not just declared.
+        strict = {
+            (r.site.module, r.site.batch_name)
+            for r in batch_contract_report(library_index())
+            if r.inferred_leading == BATCH_SYMBOL
+        }
+        assert ("repro.core.reward", "reward_eq1_batch") in strict
+        assert len(strict) >= 3

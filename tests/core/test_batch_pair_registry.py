@@ -197,3 +197,22 @@ class TestGuardedDtypeStability:
         with sanitized():
             with pytest.raises(ValueError, match="rollout_batch"):
                 noise.sample_batch(2, 3, _stream(32))
+
+
+class TestDeclaredShapeContracts:
+    """PR 8: every registered pair also declares a ``shapes=`` contract
+    that binds the leading batch axis — the runtime half of the static
+    registry sweep in tests/analysis/test_shapes.py."""
+
+    def test_every_registered_pair_declares_a_contract(self):
+        from repro.analysis.shapes import parse_contract
+
+        for key, pair in registered_pairs().items():
+            assert pair.shapes is not None, f"{key} has no shapes= contract"
+            contract = parse_contract(pair.shapes)  # must not raise
+            assert contract.binds_batch_axis, key
+            assert contract.returns_batch_axis, key
+
+    def test_reward_contract_matches_its_signature(self):
+        pair = registered_pairs()["repro.core.reward.reward_eq1"]
+        assert pair.shapes == "(K, state_dim) -> (K,)"
