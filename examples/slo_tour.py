@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""End-to-end SLO conformance tour (docs/OBSERVABILITY.md).
+
+Runs a traced MSD burst, aggregates the trace into metrics, evaluates a
+set of declarative SLO objectives against the snapshot, and attributes
+each request's end-to-end latency to causal stages — the same pipeline
+the ``repro slo`` and ``repro critical`` CLIs wrap:
+
+1. **Traced run** — a burst plus a consumer crash, with every event
+   captured through a ``Tracer(MetricsSink(JsonlSink(...)))`` stack.
+2. **SLO verdicts** — objectives (a P99 deadline, a completion floor, a
+   burn-rate window) evaluated against the metrics snapshot.  Live and
+   replayed traces yield byte-identical ``slo_report.json``.
+3. **Critical path** — per-request stage attribution (queue / startup /
+   retry / service) whose durations sum *bitwise-exactly* to the
+   measured response time, and the top-K bottleneck ranking that feeds
+   the SLO report's "why" fields.
+
+Run:  python examples/slo_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.sim import MicroserviceWorkflowSystem, SystemConfig
+from repro.sim.faults import crash_one_consumer
+from repro.telemetry import (
+    JsonlSink,
+    MetricsSink,
+    SloSpec,
+    Tracer,
+    aggregate_run,
+    analyze_trace,
+    evaluate_slos,
+    load_trace,
+    render_critical,
+    render_slo_result,
+    slo_report_json,
+)
+from repro.workflows import build_msd_ensemble
+from repro.workload import MSD_BACKGROUND_RATES, PoissonArrivalProcess
+
+OBJECTIVES = [
+    SloSpec("p99-deadline", "response_time_p99", 600.0),
+    SloSpec("queue-wait-p95", "queue_wait_p95", 300.0),
+    SloSpec("completion-floor", "completions", 20.0, op=">="),
+    SloSpec("p95-burn", "response_p95", 30.0, window=4, burn_budget=0.5),
+]
+
+
+def traced_run(outdir: Path) -> MetricsSink:
+    """A burst + crash run with full telemetry capture."""
+    sink = MetricsSink(JsonlSink(outdir / "trace.jsonl"))
+    with Tracer(sink) as tracer:
+        system = MicroserviceWorkflowSystem(
+            build_msd_ensemble(),
+            SystemConfig(consumer_budget=14),
+            seed=7,
+            tracer=tracer,
+        )
+        PoissonArrivalProcess(MSD_BACKGROUND_RATES).attach(system)
+        system.inject_burst({"Type3": 15})
+        system.apply_allocation([4, 4, 3, 3])
+        system.run_window()
+        crash_one_consumer(system.microservices["Preprocess"])
+        for _ in range(4):
+            system.run_window()
+        print(f"simulated {system.loop.now:.0f} s, "
+              f"{tracer.records_written} trace records")
+    return sink
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        outdir = Path(tmp)
+        live_sink = traced_run(outdir)
+
+        # -- SLO verdicts against the live snapshot -----------------------
+        records = load_trace(outdir)
+        critical = analyze_trace(records)
+        result = evaluate_slos(
+            OBJECTIVES, live_sink.snapshot(), critical=critical
+        )
+        print()
+        print(render_slo_result(result))
+
+        # -- live == replay, by construction ------------------------------
+        replay = evaluate_slos(
+            OBJECTIVES, aggregate_run(outdir).snapshot(), critical=critical
+        )
+        identical = slo_report_json(result) == slo_report_json(replay)
+        print(f"\nlive and replayed slo_report.json identical: {identical}")
+
+        # -- where the latency went ---------------------------------------
+        print()
+        print(render_critical(critical, top_k=5))
+
+
+if __name__ == "__main__":
+    main()

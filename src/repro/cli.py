@@ -10,6 +10,10 @@
     python -m repro trace --dataset msd --output runs/trace-msd
     python -m repro report runs/trace-msd
     python -m repro metrics runs/trace-msd --format prom
+    python -m repro metrics runs/trace-msd --serve 9090
+    python -m repro slo runs/trace-msd --specs slo.toml
+    python -m repro critical runs/trace-msd --top 5
+    python -m repro bench report --append
     python -m repro profile run --dataset msd --output runs/prof-msd
     python -m repro profile report runs/prof-msd
 
@@ -23,7 +27,14 @@ run manifest, and aggregated metrics; ``report`` summarizes such a trace
 into utilization, queue-depth, container-lifecycle, and training-curve
 tables (``--json`` for machine-readable output); ``metrics`` replays a
 trace through the streaming aggregation engine (text, JSON, or
-Prometheus exposition output); ``profile run`` is ``trace`` with the
+Prometheus exposition output — ``--serve PORT`` exposes it at a
+``GET /metrics`` HTTP endpoint instead); ``slo`` evaluates declarative
+objectives from a TOML/JSON spec file against a trace and exits nonzero
+on violation; ``critical`` attributes each request's end-to-end latency
+to causal stages (queue / startup / retry / service) and ranks the
+bottlenecks; ``bench report`` summarizes the root ``BENCH_*.json``
+artifacts into one table (``--append`` records a dated row in
+``BENCH_TRAJECTORY.jsonl``); ``profile run`` is ``trace`` with the
 phase profiler on (adds ``profile.json``); ``profile report`` renders a
 saved phase tree (docs/OBSERVABILITY.md).
 """
@@ -111,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="reduced schedules (CI/smoke scale)")
     experiments.add_argument("--output", default=None,
                              help="write the results JSON to this file")
+    experiments.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="capture a per-cell trace + metrics under DIR and merge "
+             "them into fleet_metrics.json / fleet_manifest.json "
+             "(byte-identical for any --workers)",
+    )
 
     trace = sub.add_parser(
         "trace", help="run a traced simulation/training run (JSONL + manifest)"
@@ -142,6 +159,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="also write metrics.json + metrics.prom into this directory",
     )
+    metrics.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve the aggregates at http://127.0.0.1:PORT/metrics "
+             "(Prometheus exposition 0.0.4) instead of printing them",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO objectives against a trace (nonzero on failure)",
+    )
+    slo.add_argument(
+        "path", help="trace.jsonl file or run directory containing one"
+    )
+    slo.add_argument(
+        "--specs", required=True,
+        help="objectives file: TOML ([[tool.repro.slo.objectives]]) "
+             "or JSON ({\"objectives\": [...]})",
+    )
+    slo.add_argument("--top", type=int, default=3,
+                     help="bottlenecks quoted in violation 'why' fields")
+    slo.add_argument(
+        "--no-critical", action="store_true",
+        help="skip the critical-path analysis behind the 'why' fields",
+    )
+    slo.add_argument("--json", action="store_true",
+                     help="print the slo_report.json document instead")
+    slo.add_argument("--output", default=None,
+                     help="also write slo_report.json into this directory")
+
+    critical = sub.add_parser(
+        "critical",
+        help="critical-path latency attribution for a traced run",
+    )
+    critical.add_argument(
+        "path", help="trace.jsonl file or run directory containing one"
+    )
+    critical.add_argument("--top", type=int, default=5,
+                          help="bottleneck rows to show")
+    critical.add_argument("--json", action="store_true",
+                          help="print the canonical JSON document instead")
+    critical.add_argument("--output", default=None,
+                          help="also write critical.json into this directory")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark artifact reports"
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_report = bsub.add_parser(
+        "report", help="summarize the root BENCH_*.json artifacts"
+    )
+    bench_report.add_argument(
+        "--root", default=".",
+        help="directory holding the BENCH_*.json files",
+    )
+    bench_report.add_argument(
+        "--append", action="store_true",
+        help="append a dated summary row to BENCH_TRAJECTORY.jsonl",
+    )
+    bench_report.add_argument("--json", action="store_true",
+                              help="print the summary as JSON")
 
     profile = sub.add_parser(
         "profile", help="phase-profiled runs and profile reports"
@@ -334,9 +411,22 @@ def _cmd_experiments(args) -> int:
     cells = default_cells(
         experiments=names, replicates=args.replicates, quick=args.quick
     )
-    results = run_cells(cells, root_seed=args.seed, workers=args.workers)
+    results = run_cells(
+        cells,
+        root_seed=args.seed,
+        workers=args.workers,
+        telemetry_dir=args.telemetry,
+    )
     for label, payload in results.items():
         print(f"{label}: done (seed {payload['seed']})", file=sys.stderr)
+    if args.telemetry:
+        from repro.telemetry.fleet import FLEET_MANIFEST_FILENAME
+
+        print(
+            f"fleet telemetry merged under {args.telemetry} "
+            f"({FLEET_MANIFEST_FILENAME})",
+            file=sys.stderr,
+        )
     if args.output:
         path = write_results(args.output, results)
         print(f"results written to {path}", file=sys.stderr)
@@ -501,12 +591,132 @@ def _cmd_metrics(args) -> int:
     if args.output:
         target = write_metrics(args.output, sink)
         print(f"metrics written to {target.parent}", file=sys.stderr)
+    if args.serve is not None:
+        from repro.telemetry import MetricsServer
+
+        server = MetricsServer(sink.to_prometheus, port=args.serve)
+        host, port = server.address
+        print(f"serving metrics at http://{host}:{port}/metrics "
+              f"(Ctrl-C to stop)", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
     if args.format == "json":
         print(snapshot_to_json(sink.snapshot()), end="")
     elif args.format == "prom":
         print(sink.to_prometheus(), end="")
     else:
         print(render_metrics(sink.snapshot()))
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import (
+        aggregate_trace,
+        analyze_trace,
+        evaluate_slos,
+        load_trace,
+        load_slo_specs,
+        render_slo_result,
+        slo_report_json,
+        write_slo_report,
+    )
+
+    specs = load_slo_specs(args.specs)
+    records = load_trace(Path(args.path))
+    sink = aggregate_trace(records)
+    critical = None if args.no_critical else analyze_trace(records)
+    result = evaluate_slos(specs, sink.snapshot(), critical=critical)
+    if args.output:
+        target = write_slo_report(args.output, result)
+        print(f"slo report written to {target}", file=sys.stderr)
+    if args.json:
+        print(slo_report_json(result), end="")
+    else:
+        print(render_slo_result(result))
+    return 0 if result.passed else 1
+
+
+def _cmd_critical(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import (
+        analyze_trace,
+        critical_report_json,
+        load_trace,
+        render_critical,
+    )
+    from repro.telemetry.critical import CRITICAL_FILENAME
+
+    report = analyze_trace(load_trace(Path(args.path)))
+    document = critical_report_json(report, top_k=args.top)
+    if args.output:
+        outdir = Path(args.output)
+        outdir.mkdir(parents=True, exist_ok=True)
+        target = outdir / CRITICAL_FILENAME
+        target.write_text(document, encoding="utf-8")
+        print(f"critical report written to {target}", file=sys.stderr)
+    if args.json:
+        print(document, end="")
+    else:
+        print(render_critical(report, top_k=args.top))
+    return 0
+
+
+def _flatten_bench(value, prefix=""):
+    """Dotted-path numeric leaves of one BENCH_*.json document."""
+    out = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            out.update(_flatten_bench(value[key], f"{prefix}{key}."))
+    elif isinstance(value, bool):
+        out[prefix[:-1]] = float(value)
+    elif isinstance(value, (int, float)):
+        out[prefix[:-1]] = float(value)
+    return out
+
+
+def _cmd_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.eval.reporting import format_table
+    from repro.telemetry import wall_time_now
+
+    root = Path(args.root)
+    artifacts = sorted(root.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {root}", file=sys.stderr)
+        return 1
+    summary = {}
+    for artifact in artifacts:
+        name = artifact.stem.replace("BENCH_", "")
+        document = json.loads(artifact.read_text(encoding="utf-8"))
+        summary[name] = _flatten_bench(document)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        rows = [
+            [name, metric, f"{value:.6g}"]
+            for name in sorted(summary)
+            for metric, value in sorted(summary[name].items())
+        ]
+        print(format_table(
+            ["benchmark", "metric", "value"], rows,
+            title=f"Benchmark artifacts under {root.resolve()}",
+        ))
+    if args.append:
+        row = {"wall_time": wall_time_now(), "benchmarks": summary}
+        trajectory = root / "BENCH_TRAJECTORY.jsonl"
+        with trajectory.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"trajectory row appended to {trajectory}", file=sys.stderr)
     return 0
 
 
@@ -558,6 +768,9 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "report": _cmd_report,
     "metrics": _cmd_metrics,
+    "slo": _cmd_slo,
+    "critical": _cmd_critical,
+    "bench": _cmd_bench,
     "profile": _cmd_profile,
 }
 

@@ -93,13 +93,14 @@ def dataset_preset(name: str) -> dict:
         ) from None
 
 
-def _training_env(name: str, seed: int) -> MicroserviceEnv:
+def _training_env(name: str, seed: int, tracer=None) -> MicroserviceEnv:
     preset = dataset_preset(name)
     return make_env(
         preset["builder"](),
         config=SystemConfig(consumer_budget=preset["budget"]),
         seed=seed,
         background_rates=preset["rates"],
+        tracer=tracer,
     )
 
 
@@ -199,6 +200,7 @@ def experiment_fig5_model_accuracy(
     action_hold: int = 4,
     seed: int = 0,
     model_epochs: int = 60,
+    tracer=None,
 ) -> Fig5Result:
     """Reproduce Fig. 5 for one dataset.
 
@@ -208,7 +210,7 @@ def experiment_fig5_model_accuracy(
     -out trace) is identical.
     """
     preset = dataset_preset(dataset)
-    env = _training_env(dataset, seed)
+    env = _training_env(dataset, seed, tracer=tracer)
     rng = RngStream("fig5", np.random.SeedSequence(seed))
 
     train_data, _ = _collect_random_dataset(
@@ -258,6 +260,7 @@ def experiment_fig6_training_trace(
     config: Optional[MirasConfig] = None,
     seed: int = 0,
     verbose: bool = False,
+    tracer=None,
 ) -> List[IterationResult]:
     """Reproduce Fig. 6a/6b: aggregated evaluation reward per iteration.
 
@@ -266,7 +269,7 @@ def experiment_fig6_training_trace(
     shape (converges within the configured iterations).
     """
     preset = dataset_preset(dataset)
-    env = _training_env(dataset, seed)
+    env = _training_env(dataset, seed, tracer=tracer)
     config = config or preset["fast_config"]()
     agent = MirasAgent(env, config, seed=seed)
     agent.iterate(verbose=verbose)
@@ -281,14 +284,17 @@ def _build_comparison_allocators(
     dataset: str,
     config: MirasConfig,
     seed: int,
+    tracer=None,
 ) -> List[Allocator]:
     """Train MIRAS + fair-budget baselines; return all five allocators.
 
     Interaction-budget fairness (Section VI-D): model-free DDPG gets the
     same number of real interactions as MIRAS; MONAD is identified on the
-    very dataset MIRAS collected.
+    very dataset MIRAS collected.  ``tracer`` instruments the *primary*
+    (MIRAS) training environment only — baseline training runs stay
+    untraced so the comparison traces one system per cell.
     """
-    train_env = _training_env(dataset, seed)
+    train_env = _training_env(dataset, seed, tracer=tracer)
     miras_agent = MirasAgent(train_env, config, seed=seed)
     miras_agent.iterate()
     total_interactions = config.steps_per_iteration * config.iterations
@@ -332,10 +338,13 @@ def _comparison(
     config: Optional[MirasConfig],
     seed: int,
     eval_seed: int,
+    tracer=None,
 ) -> Dict[str, Dict[str, EvalResult]]:
     preset = dataset_preset(dataset)
     config = config or preset["fast_config"]()
-    allocators = _build_comparison_allocators(dataset, config, seed)
+    allocators = _build_comparison_allocators(
+        dataset, config, seed, tracer=tracer
+    )
     system_config = SystemConfig(consumer_budget=preset["budget"])
     results: Dict[str, Dict[str, EvalResult]] = {}
     for scenario in scenarios:
@@ -356,6 +365,7 @@ def experiment_fig7_msd_comparison(
     scenarios: Optional[Sequence[BurstScenario]] = None,
     seed: int = 0,
     eval_seed: int = 1000,
+    tracer=None,
 ) -> Dict[str, Dict[str, EvalResult]]:
     """Fig. 7: MSD response time under the three burst conditions.
 
@@ -363,7 +373,8 @@ def experiment_fig7_msd_comparison(
     ``config=MirasConfig.msd_paper()`` and ``steps`` ~ the paper's horizon.
     """
     return _comparison(
-        "msd", scenarios or MSD_BURSTS, steps, config, seed, eval_seed
+        "msd", scenarios or MSD_BURSTS, steps, config, seed, eval_seed,
+        tracer=tracer,
     )
 
 
@@ -373,10 +384,12 @@ def experiment_fig8_ligo_comparison(
     scenarios: Optional[Sequence[BurstScenario]] = None,
     seed: int = 0,
     eval_seed: int = 1000,
+    tracer=None,
 ) -> Dict[str, Dict[str, EvalResult]]:
     """Fig. 8: LIGO response time under the three burst conditions."""
     return _comparison(
-        "ligo", scenarios or LIGO_BURSTS, steps, config, seed, eval_seed
+        "ligo", scenarios or LIGO_BURSTS, steps, config, seed, eval_seed,
+        tracer=tracer,
     )
 
 
@@ -390,6 +403,7 @@ def ablation_refinement(
     test_steps: int = 200,
     percentile: float = 20.0,
     seed: int = 0,
+    tracer=None,
 ) -> Dict[str, float]:
     """Lend–Giveback on/off: one-step error near the WIP boundary.
 
@@ -398,7 +412,7 @@ def ablation_refinement(
     1 targets) and on the complementary set.
     """
     preset = dataset_preset(dataset)
-    env = _training_env(dataset, seed)
+    env = _training_env(dataset, seed, tracer=tracer)
     rng = RngStream("ablate-refine", np.random.SeedSequence(seed))
     train_data, _ = _collect_random_dataset(
         env, collect_steps, rng.fork("ablate-refine/train")
@@ -449,6 +463,7 @@ def ablation_exploration_noise(
     dataset: str = "msd",
     config: Optional[MirasConfig] = None,
     seed: int = 0,
+    tracer=None,
 ) -> Dict[str, Dict[str, float]]:
     """Parameter-space vs action-space exploration (Section IV-D claim).
 
@@ -460,7 +475,7 @@ def ablation_exploration_noise(
     base_config = config or preset["fast_config"]()
     out: Dict[str, Dict[str, float]] = {}
     for mode in ("parameter", "action-gaussian"):
-        env = _training_env(dataset, seed)
+        env = _training_env(dataset, seed, tracer=tracer)
         mode_config = MirasConfig(
             model=base_config.model,
             policy=type(base_config.policy)(
@@ -494,6 +509,7 @@ def ablation_window_length(
     window_lengths: Sequence[float] = (5.0, 15.0, 30.0),
     steps_at_30s: int = 30,
     seed: int = 0,
+    tracer=None,
 ) -> Dict[float, Dict[str, float]]:
     """Section VI-A2's window-length trade-off (5 s / 15 s / 30 s).
 
@@ -517,6 +533,7 @@ def ablation_window_length(
             ),
             seed=seed,
             background_rates=preset["rates"],
+            tracer=tracer,
         )
         steps = max(1, int(round(total_time / window)))
         allocator = ProportionalToWipAllocator()

@@ -13,6 +13,13 @@ Determinism contract (pinned by tests/eval/test_parallel_runner.py):
   with sorted keys, so the output JSON is byte-identical for any worker
   count — ``workers=4`` reproduces ``workers=1`` reproduces the in-process
   serial path exactly.
+
+Fleet telemetry (``telemetry_dir``): each cell captures its own trace
+and metrics snapshot under ``<telemetry_dir>/<label>/`` (the worker owns
+the files — no cross-process handles), and the parent merges them in
+sorted-label order via :mod:`repro.telemetry.fleet`.  Because traces are
+a pure function of (root seed, label), the merged artifacts inherit the
+worker-count independence above.
 """
 
 from __future__ import annotations
@@ -150,13 +157,34 @@ def default_cells(
 
 
 def _execute_cell(
-    spec: Tuple[str, int, Tuple[Tuple[str, object], ...], int]
+    spec: Tuple[str, int, Tuple[Tuple[str, object], ...], int, Optional[str]]
 ) -> Dict:
-    """Run one cell (module-level so worker processes can unpickle it)."""
-    experiment, replicate, params, root_seed = spec
+    """Run one cell (module-level so worker processes can unpickle it).
+
+    With a telemetry directory the worker captures its own trace and
+    metrics files under ``<telemetry_dir>/<label>/`` — per-cell capture
+    keeps worker processes free of shared handles, and the files are a
+    pure function of (root seed, label), not of worker identity.
+    """
+    experiment, replicate, params, root_seed, telemetry_dir = spec
     cell = ExperimentCell(experiment, replicate, params)
     seed = derive_cell_seed(root_seed, cell.label)
-    result = EXPERIMENTS[experiment](seed=seed, **dict(params))
+    if telemetry_dir is None:
+        result = EXPERIMENTS[experiment](seed=seed, **dict(params))
+    else:
+        from repro.telemetry.fleet import TRACE_FILENAME
+        from repro.telemetry.metrics import MetricsSink, write_metrics
+        from repro.telemetry.sinks import JsonlSink
+        from repro.telemetry.tracer import Tracer
+
+        cell_dir = Path(telemetry_dir) / cell.label
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        sink = MetricsSink(JsonlSink(cell_dir / TRACE_FILENAME))
+        with Tracer(sink) as tracer:
+            result = EXPERIMENTS[experiment](
+                seed=seed, tracer=tracer, **dict(params)
+            )
+        write_metrics(cell_dir, sink)
     return {
         "experiment": experiment,
         "replicate": replicate,
@@ -169,6 +197,7 @@ def run_cells(
     cells: Sequence[ExperimentCell],
     root_seed: int = 0,
     workers: int = 1,
+    telemetry_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Dict]:
     """Run every cell; returns ``{label: payload}`` in input-cell order.
 
@@ -176,14 +205,19 @@ def run_cells(
     out over a ``ProcessPoolExecutor``.  Both paths execute the same
     ``_execute_cell`` function with the same derived seeds, so the
     returned mapping is identical regardless of worker count.
+
+    ``telemetry_dir`` switches on fleet telemetry: per-cell trace and
+    metrics capture in the workers, then a sorted-label merge in the
+    parent (``fleet_metrics.json``/``.prom`` + ``fleet_manifest.json``).
     """
     if workers <= 0:
         raise ValueError(f"workers must be positive, got {workers}")
     labels = [cell.label for cell in cells]
     if len(set(labels)) != len(labels):
         raise ValueError("duplicate cell labels in the grid")
+    telemetry = None if telemetry_dir is None else str(telemetry_dir)
     specs = [
-        (cell.experiment, cell.replicate, cell.params, root_seed)
+        (cell.experiment, cell.replicate, cell.params, root_seed, telemetry)
         for cell in cells
     ]
     if workers == 1 or len(specs) <= 1:
@@ -193,6 +227,10 @@ def run_cells(
             # executor.map yields in *input* order no matter which worker
             # finishes first — completion order cannot leak into results.
             payloads = list(pool.map(_execute_cell, specs))
+    if telemetry is not None:
+        from repro.telemetry.fleet import merge_fleet, write_fleet
+
+        write_fleet(telemetry, merge_fleet(telemetry))
     return dict(zip(labels, payloads))
 
 

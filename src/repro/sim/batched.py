@@ -285,10 +285,25 @@ class BatchedWorkflowSystem(MicroserviceWorkflowSystem):
 
     # Completion bookkeeping ----------------------------------------------
     def _on_batched_task_complete(self, task: int, now: float) -> None:
-        name = self._task_names[self.pool.task_type[task]]
+        pool = self.pool
+        name = self._task_names[pool.task_type[task]]
         self._window_task_completions[name] = (
             self._window_task_completions.get(name, 0) + 1
         )
+        if self.tracer.enabled:
+            # Same emit point as the serial substrate's _on_task_complete:
+            # after event.task_complete, before successor publishes.
+            self.tracer.emit(
+                "event.task_span",
+                service=name,
+                request_id=self._trace_request_ids.get(
+                    int(pool.task_workflow[task]), -1
+                ),
+                published=float(pool.task_published_at[task]),
+                started=float(pool.task_started_at[task]),
+                deliveries=int(pool.task_deliveries[task]),
+                wasted=float(pool.task_wasted_work[task]),
+            )
         self.invoker.handle_task_completion(task, now)
 
     def _on_batched_workflow_complete(self, wfi: int) -> None:

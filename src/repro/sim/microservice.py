@@ -226,6 +226,7 @@ class Microservice:
             consumer.current_tag = tag
             consumer.current_request = request
             consumer.processing_started_at = self.loop.now
+            request.started_at = self.loop.now
             service_time = sample_service_time(
                 self.task_type.mean_service_time, self.task_type.cv, self.rng
             )
@@ -669,6 +670,7 @@ class BatchedMicroservice:
                 return
             task = fifo.pop()
             pool.task_deliveries[task] += 1
+            pool.task_started_at[task] = loop.now
             self.unacked += 1
             self.state[slot] = _BUSY
             self.current_task[slot] = task

@@ -79,6 +79,9 @@ class TaskRequest:
     deliveries: int = 0
     #: Cumulative processing time wasted by interrupted attempts.
     wasted_work: float = 0.0
+    #: Start of the latest processing attempt (set at every dispatch, so
+    #: at completion it is the start of the successful attempt).
+    started_at: float = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -140,6 +143,7 @@ class RequestPool:
         self.task_published_at = np.empty(capacity, dtype=np.float64)
         self.task_deliveries = np.empty(capacity, dtype=np.int32)
         self.task_wasted_work = np.empty(capacity, dtype=np.float64)
+        self.task_started_at = np.empty(capacity, dtype=np.float64)
 
     # Growth ------------------------------------------------------------
     def _grow_workflows(self, needed: int) -> None:
@@ -169,7 +173,7 @@ class RequestPool:
         new_cap = max(needed, 2 * capacity)
         for name in (
             "task_type", "task_workflow", "task_published_at",
-            "task_deliveries", "task_wasted_work",
+            "task_deliveries", "task_wasted_work", "task_started_at",
         ):
             old = getattr(self, name)
             new = np.empty(new_cap, dtype=old.dtype)
@@ -241,6 +245,7 @@ class RequestPool:
         self.task_published_at[i] = published_at
         self.task_deliveries[i] = 0
         self.task_wasted_work[i] = 0.0
+        self.task_started_at[i] = 0.0
         self.num_tasks = i + 1
         return i
 
@@ -263,6 +268,7 @@ class RequestPool:
         self.task_published_at[first:end] = published_at
         self.task_deliveries[first:end] = 0
         self.task_wasted_work[first:end] = 0.0
+        self.task_started_at[first:end] = 0.0
         self.num_tasks = end
         return np.arange(first, end, dtype=np.int64)
 

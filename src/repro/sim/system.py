@@ -246,6 +246,21 @@ class MicroserviceWorkflowSystem:
         self._window_task_completions[name] = (
             self._window_task_completions.get(name, 0) + 1
         )
+        if self.tracer.enabled:
+            # Emitted before successor publishes, so a task's span always
+            # precedes the publish records it triggers — the ordering
+            # repro.telemetry.critical leans on when walking chains.
+            self.tracer.emit(
+                "event.task_span",
+                service=name,
+                request_id=self._trace_request_ids.get(
+                    task_request.workflow.request_id, -1
+                ),
+                published=task_request.published_at,
+                started=task_request.started_at,
+                deliveries=task_request.deliveries,
+                wasted=task_request.wasted_work,
+            )
         self.invoker.handle_task_completion(task_request, now)
 
     def _on_workflow_complete(self, request: WorkflowRequest) -> None:

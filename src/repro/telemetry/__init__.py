@@ -13,6 +13,14 @@ The observability layer of docs/OBSERVABILITY.md:
 - :mod:`repro.telemetry.metrics` — streaming aggregation into counters,
   gauges, EWMAs and histograms, with JSON and Prometheus exposition
   (the ``repro metrics`` CLI),
+- :mod:`repro.telemetry.slo` — declarative SLO conformance: objectives
+  from TOML/JSON evaluated against metrics snapshots (``repro slo``),
+- :mod:`repro.telemetry.critical` — trace-driven critical-path latency
+  attribution with an exact-sum invariant (``repro critical``),
+- :mod:`repro.telemetry.fleet` — deterministic merge of per-cell traces
+  from parallel runs (worker-count independent),
+- :mod:`repro.telemetry.server` — stdlib Prometheus exposition endpoint
+  (``repro metrics --serve``),
 - :mod:`repro.telemetry.profile` — the hierarchical phase profiler
   (wall/CPU time per phase; outside the determinism contract).
 
@@ -51,6 +59,22 @@ from repro.telemetry.metrics import (
     snapshot_to_json,
     write_metrics,
 )
+from repro.telemetry.critical import (
+    CRITICAL_VERSION,
+    CriticalPathReport,
+    RequestAttribution,
+    analyze_run,
+    analyze_trace,
+    critical_report_json,
+    render_critical,
+)
+from repro.telemetry.fleet import (
+    FLEET_VERSION,
+    FleetMerge,
+    discover_cells,
+    merge_fleet,
+    write_fleet,
+)
 from repro.telemetry.profile import (
     NULL_PROFILER,
     PROFILE_VERSION,
@@ -68,7 +92,23 @@ from repro.telemetry.report import (
     training_curves,
     utilization_summary,
 )
+from repro.telemetry.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsServer,
+    serve_metrics,
+)
 from repro.telemetry.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.telemetry.slo import (
+    SLO_REPORT_VERSION,
+    SloResult,
+    SloSpec,
+    SloVerdict,
+    evaluate_slos,
+    load_slo_specs,
+    render_slo_result,
+    slo_report_json,
+    write_slo_report,
+)
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = [
@@ -109,4 +149,28 @@ __all__ = [
     "render_profile",
     "write_profile",
     "read_profile",
+    "SLO_REPORT_VERSION",
+    "SloSpec",
+    "SloVerdict",
+    "SloResult",
+    "load_slo_specs",
+    "evaluate_slos",
+    "slo_report_json",
+    "write_slo_report",
+    "render_slo_result",
+    "CRITICAL_VERSION",
+    "CriticalPathReport",
+    "RequestAttribution",
+    "analyze_trace",
+    "analyze_run",
+    "critical_report_json",
+    "render_critical",
+    "FLEET_VERSION",
+    "FleetMerge",
+    "discover_cells",
+    "merge_fleet",
+    "write_fleet",
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricsServer",
+    "serve_metrics",
 ]

@@ -50,6 +50,7 @@ __all__ = [
     "STARTUP_LATENCY_BUCKETS",
     "QUEUE_DEPTH_BUCKETS",
     "SERVICE_TIME_BUCKETS",
+    "QUEUE_WAIT_BUCKETS",
     "METRICS_FILENAME",
     "EXPOSITION_FILENAME",
 ]
@@ -82,6 +83,12 @@ QUEUE_DEPTH_BUCKETS: Tuple[float, ...] = (
 #: Per-task service time buckets (MSD/LIGO means are seconds to ~1 min).
 SERVICE_TIME_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0,
+)
+
+#: Queue-wait (publish to successful-attempt start) buckets — near zero
+#: with idle consumers, minutes under burst backlogs.
+QUEUE_WAIT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 900.0,
 )
 
 LabelValue = Tuple[str, ...]
@@ -505,6 +512,19 @@ class MetricsAggregator:
             "repro_service_time_seconds", SERVICE_TIME_BUCKETS,
             "per-task processing time", ("service",),
         )
+        self._queue_wait = r.histogram(
+            "repro_queue_wait_seconds", QUEUE_WAIT_BUCKETS,
+            "publish-to-processing-start wait per task", ("service",),
+        )
+        self._task_retries = r.counter(
+            "repro_task_retries_total",
+            "extra delivery attempts (redeliveries) per completed task",
+            ("service",),
+        )
+        self._wasted_work = r.counter(
+            "repro_wasted_work_seconds",
+            "processing time lost to interrupted attempts", ("service",),
+        )
         self._consumer_events = r.counter(
             "repro_consumer_events_total",
             "container lifecycle transitions", ("service", "event"),
@@ -605,6 +625,18 @@ class MetricsAggregator:
             record["service_time"]
         )
 
+    def _on_task_span(self, record: Mapping) -> None:
+        service = record["service"]
+        self._queue_wait.labels(service).observe(
+            record["started"] - record["published"]
+        )
+        retries = record["deliveries"] - 1
+        if retries > 0:
+            self._task_retries.labels(service).inc(retries)
+        wasted = record["wasted"]
+        if wasted > 0:
+            self._wasted_work.labels(service).inc(wasted)
+
     def _on_fault(self, record: Mapping) -> None:
         self._faults.labels(record["fault"]).inc()
 
@@ -643,6 +675,7 @@ class MetricsAggregator:
         "event.consumer_ready": _on_consumer_ready,
         "event.consumer_stop": _on_consumer_stop,
         "event.task_complete": _on_task_complete,
+        "event.task_span": _on_task_span,
         "event.fault": _on_fault,
         "event.placement": _on_placement,
         "event.release": _on_placement,

@@ -30,7 +30,9 @@ __all__ = [
 #: Bumped whenever a record schema changes shape; written to the manifest
 #: so downstream tooling can refuse traces it does not understand.
 #: v2: added ``event.task_complete`` (per-task service time).
-SCHEMA_VERSION = 2
+#: v3: added ``event.task_span`` (per-task causal span for critical-path
+#: attribution).
+SCHEMA_VERSION = 3
 
 #: Fields present on every record regardless of kind.
 ENVELOPE_FIELDS: FrozenSet[str] = frozenset({"kind", "t"})
@@ -68,6 +70,17 @@ RECORD_SCHEMAS: Dict[str, FrozenSet[str]] = {
     # time of this attempt (wasted work from killed attempts excluded).
     # Feeds the per-service service-time histograms of the metrics engine.
     "event.task_complete": frozenset({"service", "service_time"}),
+    # The full causal span of one task of one workflow request, emitted at
+    # completion (record ``t``): ``published`` is when the request entered
+    # the queue, ``started`` when the final (successful) attempt began
+    # processing, ``deliveries`` the delivery attempts, ``wasted`` the
+    # processing time lost to interrupted attempts.  ``request_id`` is the
+    # run-local workflow ordinal of ``event.arrival``, which is what lets
+    # repro.telemetry.critical reconstruct per-request causal chains.
+    "event.task_span": frozenset({
+        "service", "request_id", "published", "started", "deliveries",
+        "wasted",
+    }),
     # Cluster slot accounting (Kubernetes scheduler analog).
     "event.placement": frozenset({"node", "used"}),
     "event.release": frozenset({"node", "used"}),

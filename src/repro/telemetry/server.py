@@ -1,0 +1,90 @@
+"""A stdlib Prometheus exposition endpoint for metrics snapshots.
+
+``repro metrics --serve PORT`` wraps an offline-aggregated registry in a
+:class:`MetricsServer`: a ``ThreadingHTTPServer`` whose ``GET /metrics``
+responds with the text exposition format (version 0.0.4), exactly the
+bytes :meth:`MetricsRegistry.to_prometheus` renders.  No third-party
+dependency — scrape targets only need HTTP — and no effect on run
+determinism: the server only *reads* aggregates, it never feeds them.
+
+The render callable is re-invoked per scrape, so a long-lived process
+can hand in a closure over a live :class:`MetricsSink` and expose
+up-to-date numbers without restarting the server.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Tuple
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "MetricsServer", "serve_metrics"]
+
+#: The exposition content type Prometheus scrapers negotiate.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    render: Callable[[], str] = staticmethod(lambda: "")
+
+    def do_GET(self):  # noqa: N802 - http.server API name
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "try /metrics")
+            return
+        body = self.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrape logging is noise; the CLI reports the bind address
+
+
+class MetricsServer:
+    """Serve a render callable at ``GET /metrics`` until stopped."""
+
+    def __init__(self, render: Callable[[], str], port: int = 0,
+                 host: str = "127.0.0.1"):
+        handler = type("_BoundHandler", (_Handler,), {
+            "render": staticmethod(render),
+        })
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        return self._server.server_address[:2]
+
+    def start(self) -> "MetricsServer":
+        """Serve from a daemon thread; idempotent so ``with`` composes
+        with :func:`serve_metrics` (which already started it)."""
+        if not self._thread.is_alive():
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block in the calling thread (the CLI foreground mode)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_metrics(render: Callable[[], str], port: int = 0,
+                  host: str = "127.0.0.1") -> MetricsServer:
+    """Start a background :class:`MetricsServer` and return it."""
+    return MetricsServer(render, port=port, host=host).start()

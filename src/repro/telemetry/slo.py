@@ -1,0 +1,470 @@
+"""Declarative SLO conformance: objectives in, verdicts out.
+
+An :class:`SloSpec` names a metric selector, a comparison threshold and
+(optionally) a burn-rate window; :func:`evaluate_slos` checks a list of
+specs against the *same* snapshot document the metrics engine exports
+(`MetricsSink.snapshot()`: registry families plus the per-window summary
+series), so live and replayed traces produce byte-identical
+``slo_report.json`` by construction — nothing here reads a clock, an
+RNG, or the filesystem.
+
+Two evaluation modes per spec:
+
+- ``window == 0`` (default) — end-of-run check of the selector value
+  against the threshold: verdict ``pass`` or ``fail``.
+- ``window > 0`` — burn-rate check over the *last* ``window`` rows of
+  the per-window summary series (selectors: ``response_p50/p95/p99``,
+  ``completions``, ``wip_total``, ``reward``).  With ``burn_budget`` b,
+  the fraction of violating windows f yields ``pass`` (f == 0),
+  ``burn`` (0 < f <= b: error budget burning but not exhausted) or
+  ``fail`` (f > b).
+
+Specs load from JSON (``{"objectives": [...]}`` or a bare list) or from
+TOML under ``[[tool.repro.slo.objectives]]`` — the same table shape a
+``pyproject.toml`` would carry.
+
+Histogram quantile selectors are exact (nearest-rank over the retained
+values) when the spec pins one label series; unlabeled quantiles over
+multiple series merge cumulative bucket counts and return the bucket
+upper bound (the standard conservative estimate — exact per-value merges
+are not reconstructible from a snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "SLO_REPORT_VERSION",
+    "SLO_REPORT_FILENAME",
+    "SloError",
+    "SloSpec",
+    "SloVerdict",
+    "SloResult",
+    "load_slo_specs",
+    "evaluate_slos",
+    "slo_report_json",
+    "write_slo_report",
+    "render_slo_result",
+    "WINDOW_SELECTORS",
+]
+
+#: Bumped whenever the slo_report.json document changes shape.
+SLO_REPORT_VERSION = 1
+
+SLO_REPORT_FILENAME = "slo_report.json"
+
+#: Selectors valid for burn-rate specs (keys of the per-window summary
+#: rows that :func:`repro.telemetry.metrics.window_summary_row` emits).
+WINDOW_SELECTORS = (
+    "response_p50", "response_p95", "response_p99", "completions",
+    "wip_total", "reward",
+)
+
+_OPS = ("<=", ">=")
+
+#: End-of-run histogram selectors: prefix -> (family, label name).
+_HISTOGRAM_FAMILIES = {
+    "response_time": ("repro_response_time_seconds", "workflow"),
+    "queue_depth": ("repro_queue_depth", "queue"),
+    "queue_wait": ("repro_queue_wait_seconds", "service"),
+    "startup_latency": ("repro_startup_latency_seconds", "service"),
+    "service_time": ("repro_service_time_seconds", "service"),
+}
+_HISTOGRAM_STATS = ("p50", "p95", "p99", "mean", "count")
+
+
+class SloError(ValueError):
+    """Raised on malformed specs or unresolvable selectors."""
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective.
+
+    ``metric`` is either an end-of-run selector (e.g.
+    ``response_time_p99``, ``redelivery_rate``) or, with ``window > 0``,
+    a per-window selector from :data:`WINDOW_SELECTORS`.  ``label``
+    restricts histogram/counter selectors to one label value (workflow,
+    queue or service name depending on the family).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = "<="
+    label: str = ""
+    window: int = 0
+    burn_budget: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise SloError("SLO spec needs a non-empty name")
+        if self.op not in _OPS:
+            raise SloError(
+                f"SLO {self.name!r}: op must be one of {_OPS}, "
+                f"got {self.op!r}"
+            )
+        if self.window < 0:
+            raise SloError(
+                f"SLO {self.name!r}: window must be >= 0, got {self.window}"
+            )
+        if not 0.0 <= self.burn_budget <= 1.0:
+            raise SloError(
+                f"SLO {self.name!r}: burn_budget must be in [0, 1], "
+                f"got {self.burn_budget}"
+            )
+        if self.window > 0 and self.metric not in WINDOW_SELECTORS:
+            raise SloError(
+                f"SLO {self.name!r}: burn-rate selector must be one of "
+                f"{WINDOW_SELECTORS}, got {self.metric!r}"
+            )
+
+    def ok(self, value: float) -> bool:
+        return value <= self.threshold if self.op == "<=" else (
+            value >= self.threshold
+        )
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "op": self.op,
+            "label": self.label,
+            "window": self.window,
+            "burn_budget": self.burn_budget,
+        }
+
+
+@dataclass
+class SloVerdict:
+    """The outcome of one spec against one snapshot."""
+
+    spec: SloSpec
+    verdict: str  # "pass" | "burn" | "fail"
+    value: Optional[float] = None
+    windows_violated: int = 0
+    windows_total: int = 0
+    why: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == "fail"
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "spec": self.spec.to_jsonable(),
+            "verdict": self.verdict,
+            "value": self.value,
+            "windows_violated": self.windows_violated,
+            "windows_total": self.windows_total,
+            "why": self.why,
+        }
+
+
+@dataclass
+class SloResult:
+    """All verdicts for one evaluation run."""
+
+    verdicts: List[SloVerdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not any(v.failed for v in self.verdicts)
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "slo_report_version": SLO_REPORT_VERSION,
+            "passed": self.passed,
+            "verdicts": [v.to_jsonable() for v in self.verdicts],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Spec loading
+# ---------------------------------------------------------------------------
+
+def _spec_from_table(table: Mapping) -> SloSpec:
+    known = {
+        "name", "metric", "threshold", "op", "label", "window",
+        "burn_budget",
+    }
+    unknown = sorted(set(table) - known)
+    if unknown:
+        raise SloError(f"unknown SLO spec fields: {unknown}")
+    try:
+        return SloSpec(
+            name=str(table["name"]),
+            metric=str(table["metric"]),
+            threshold=float(table["threshold"]),
+            op=str(table.get("op", "<=")),
+            label=str(table.get("label", "")),
+            window=int(table.get("window", 0)),
+            burn_budget=float(table.get("burn_budget", 0.0)),
+        )
+    except KeyError as exc:
+        raise SloError(f"SLO spec missing required field {exc}") from None
+
+
+def load_slo_specs(path: Union[str, Path]) -> List[SloSpec]:
+    """Load objectives from a TOML or JSON file.
+
+    TOML files use the ``[[tool.repro.slo.objectives]]`` array-of-tables
+    (a bare top-level ``[[objectives]]`` also works); JSON files carry
+    ``{"objectives": [...]}`` or a bare list of spec tables.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".toml":
+        import tomllib
+
+        document = tomllib.loads(text)
+        tables = (
+            document.get("tool", {}).get("repro", {}).get("slo", {})
+            .get("objectives")
+        )
+        if tables is None:
+            tables = document.get("objectives")
+    else:
+        document = json.loads(text)
+        tables = (
+            document if isinstance(document, list)
+            else document.get("objectives")
+        )
+    if not tables:
+        raise SloError(f"no SLO objectives found in {path}")
+    return [_spec_from_table(t) for t in tables]
+
+
+# ---------------------------------------------------------------------------
+# Selector evaluation
+# ---------------------------------------------------------------------------
+
+def _family_series(snapshot: Mapping, family: str) -> List[Mapping]:
+    return snapshot.get("families", {}).get(family, {}).get("series", [])
+
+
+def _label_match(series: Mapping, label: str) -> bool:
+    labels = series.get("labels", {})
+    return not label or label in labels.values()
+
+
+def _merged_quantile(series: Sequence[Mapping], q: float) -> float:
+    """Bucket-resolution quantile over summed cumulative counts."""
+    if not series:
+        return 0.0
+    buckets = series[0]["buckets"]
+    counts = [0] * (len(buckets) + 1)
+    total = 0
+    for s in series:
+        for i, c in enumerate(s["counts"]):
+            counts[i] += c
+        total += s["count"]
+    if total == 0:
+        return 0.0
+    rank = min(int(q * total), total - 1)
+    remaining = rank + 1
+    for i, c in enumerate(counts):
+        remaining -= c
+        if remaining <= 0:
+            return buckets[min(i, len(buckets) - 1)]
+    return buckets[-1]
+
+
+def _histogram_value(
+    snapshot: Mapping, family: str, stat: str, label: str, spec_name: str
+) -> float:
+    series = [
+        s for s in _family_series(snapshot, family)
+        if _label_match(s, label)
+    ]
+    if not series:
+        if label:
+            raise SloError(
+                f"SLO {spec_name!r}: no {family} series with label "
+                f"{label!r} in snapshot"
+            )
+        return 0.0
+    if stat == "count":
+        return float(sum(s["count"] for s in series))
+    if stat == "mean":
+        total = sum(s["count"] for s in series)
+        return sum(s["sum"] for s in series) / total if total else 0.0
+    q = {"p50": 0.50, "p95": 0.95, "p99": 0.99}[stat]
+    if len(series) == 1:
+        return float(series[0][stat])
+    return float(_merged_quantile(series, q))
+
+
+def _counter_total(snapshot: Mapping, family: str, label: str) -> float:
+    return float(sum(
+        s["value"] for s in _family_series(snapshot, family)
+        if _label_match(s, label)
+    ))
+
+
+def _select(snapshot: Mapping, spec: SloSpec) -> float:
+    """Resolve an end-of-run selector against a snapshot document."""
+    metric = spec.metric
+    for prefix, (family, _label_name) in _HISTOGRAM_FAMILIES.items():
+        for stat in _HISTOGRAM_STATS:
+            if metric == f"{prefix}_{stat}":
+                return _histogram_value(
+                    snapshot, family, stat, spec.label, spec.name
+                )
+    if metric == "redelivery_rate":
+        published = _counter_total(
+            snapshot, "repro_publishes_total", spec.label
+        )
+        redelivered = _counter_total(
+            snapshot, "repro_redeliveries_total", spec.label
+        )
+        return redelivered / published if published else 0.0
+    if metric == "completion_ratio":
+        arrivals = _counter_total(
+            snapshot, "repro_arrivals_total", spec.label
+        )
+        completions = _counter_total(
+            snapshot, "repro_completions_total", spec.label
+        )
+        return completions / arrivals if arrivals else 1.0
+    if metric == "completions":
+        return _counter_total(snapshot, "repro_completions_total", spec.label)
+    if metric == "task_retries":
+        return _counter_total(snapshot, "repro_task_retries_total", spec.label)
+    if metric == "wasted_work_seconds":
+        return _counter_total(snapshot, "repro_wasted_work_seconds", spec.label)
+    raise SloError(f"SLO {spec.name!r}: unknown metric selector {metric!r}")
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+def _why_from_critical(critical, top_k: int = 3) -> str:
+    """One-line bottleneck summary from a CriticalPathReport."""
+    rows = critical.bottlenecks(top_k)
+    if not rows:
+        return ""
+    parts = [
+        f"{row['service'] or '(none)'}/{row['stage']} "
+        f"{row['share'] * 100.0:.1f}%"
+        for row in rows
+    ]
+    return "critical-path bottlenecks: " + ", ".join(parts)
+
+
+def evaluate_slos(
+    specs: Sequence[SloSpec],
+    snapshot: Mapping,
+    critical=None,
+) -> SloResult:
+    """Evaluate every spec against one snapshot document.
+
+    ``snapshot`` is a ``MetricsSink.snapshot()`` document — registry
+    families plus the ``window_series`` rows.  ``critical`` (optional, a
+    :class:`repro.telemetry.critical.CriticalPathReport`) fills the
+    ``why`` field of latency-related violations with the top critical
+    -path bottlenecks.
+    """
+    result = SloResult()
+    window_series = snapshot.get("window_series", [])
+    for spec in specs:
+        if spec.window > 0:
+            rows = window_series[-spec.window:]
+            values = [float(row.get(spec.metric, 0.0)) for row in rows]
+            violated = sum(1 for v in values if not spec.ok(v))
+            total = len(values)
+            frac = violated / total if total else 0.0
+            if violated == 0:
+                verdict = "pass"
+            elif frac <= spec.burn_budget:
+                verdict = "burn"
+            else:
+                verdict = "fail"
+            why = ""
+            if verdict != "pass":
+                why = (
+                    f"{violated}/{total} of the last {total} windows "
+                    f"violate {spec.metric} {spec.op} {spec.threshold:g}"
+                )
+                if critical is not None and spec.metric.startswith(
+                    "response"
+                ):
+                    bottleneck = _why_from_critical(critical)
+                    if bottleneck:
+                        why = f"{why}; {bottleneck}"
+            result.verdicts.append(SloVerdict(
+                spec=spec,
+                verdict=verdict,
+                value=values[-1] if values else None,
+                windows_violated=violated,
+                windows_total=total,
+                why=why,
+            ))
+        else:
+            value = _select(snapshot, spec)
+            ok = spec.ok(value)
+            why = ""
+            if not ok:
+                why = (
+                    f"{spec.metric}"
+                    f"{'{' + spec.label + '}' if spec.label else ''} = "
+                    f"{value:g}, violates {spec.op} {spec.threshold:g}"
+                )
+                if critical is not None and (
+                    spec.metric.startswith("response_time")
+                    or spec.metric.startswith("queue_wait")
+                ):
+                    bottleneck = _why_from_critical(critical)
+                    if bottleneck:
+                        why = f"{why}; {bottleneck}"
+            result.verdicts.append(SloVerdict(
+                spec=spec,
+                verdict="pass" if ok else "fail",
+                value=value,
+                why=why,
+            ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+def slo_report_json(result: SloResult) -> str:
+    """Canonical JSON document (sorted keys, compact, trailing newline)."""
+    return json.dumps(
+        result.to_jsonable(), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+
+
+def write_slo_report(outdir: Union[str, Path], result: SloResult) -> Path:
+    """Write ``slo_report.json`` into a run directory."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    target = outdir / SLO_REPORT_FILENAME
+    target.write_text(slo_report_json(result), encoding="utf-8")
+    return target
+
+
+def render_slo_result(result: SloResult) -> str:
+    """Human-readable verdict table (the ``repro slo`` CLI)."""
+    lines = [f"{'verdict':<8} {'objective':<24} {'value':>12}  detail"]
+    for v in result.verdicts:
+        value = "-" if v.value is None else f"{v.value:.3f}"
+        detail = v.why or (
+            f"{v.spec.metric} {v.spec.op} {v.spec.threshold:g}"
+        )
+        if v.spec.window > 0 and not v.why:
+            detail += f" over last {v.windows_total} windows"
+        lines.append(
+            f"{v.verdict.upper():<8} {v.spec.name:<24} {value:>12}  {detail}"
+        )
+    lines.append("")
+    lines.append("SLO conformance: " + ("PASS" if result.passed else "FAIL"))
+    return "\n".join(lines)

@@ -213,6 +213,33 @@ class TestAggregator:
         assert families["repro_window_reward"]["series"][0]["value"] == -7.5
         assert families["repro_sim_time_seconds"]["series"][0]["value"] == 30.0
 
+    def test_task_span_populates_wait_retry_and_waste_families(self):
+        agg = MetricsAggregator()
+        agg.observe({
+            "kind": "event.task_span", "t": 25.0, "service": "Ingest",
+            "request_id": 3, "published": 10.0, "started": 14.0,
+            "deliveries": 3, "wasted": 6.5,
+        })
+        families = agg.snapshot()["families"]
+        wait = families["repro_queue_wait_seconds"]["series"][0]
+        assert wait["labels"] == {"service": "Ingest"}
+        assert wait["count"] == 1 and wait["sum"] == pytest.approx(4.0)
+        retries = families["repro_task_retries_total"]["series"][0]
+        assert retries["value"] == 2.0
+        wasted = families["repro_wasted_work_seconds"]["series"][0]
+        assert wasted["value"] == pytest.approx(6.5)
+
+    def test_clean_task_span_emits_no_retry_or_waste_series(self):
+        agg = MetricsAggregator()
+        agg.observe({
+            "kind": "event.task_span", "t": 5.0, "service": "Ingest",
+            "request_id": 0, "published": 1.0, "started": 1.0,
+            "deliveries": 1, "wasted": 0.0,
+        })
+        families = agg.snapshot()["families"]
+        assert families["repro_task_retries_total"]["series"] == []
+        assert families["repro_wasted_work_seconds"]["series"] == []
+
     def test_training_metric_updates_last_and_ewma(self):
         agg = MetricsAggregator()
         for value in (4.0, 2.0):

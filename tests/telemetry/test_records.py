@@ -34,6 +34,10 @@ EXAMPLES = {
         "service": "Ingest", "consumer_id": 2, "mode": "drain",
     },
     "event.task_complete": {"service": "Ingest", "service_time": 9.5},
+    "event.task_span": {
+        "service": "Ingest", "request_id": 17, "published": 10.0,
+        "started": 12.5, "deliveries": 1, "wasted": 0.0,
+    },
     "event.placement": {"node": 1, "used": 3},
     "event.release": {"node": 1, "used": 2},
     "event.fault": {"fault": "consumer_crash", "target": "Ingest"},

@@ -1,0 +1,72 @@
+"""Metrics HTTP endpoint tests (stdlib server, port 0 binds)."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsAggregator,
+    MetricsServer,
+    serve_metrics,
+)
+
+
+@pytest.fixture()
+def aggregator():
+    agg = MetricsAggregator()
+    agg.observe({"kind": "event.arrival", "t": 1.0,
+                 "workflow": "Type1", "request_id": 0})
+    agg.observe({"kind": "event.workflow_complete", "t": 11.0,
+                 "workflow": "Type1", "request_id": 0,
+                 "response_time": 10.0})
+    return agg
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers["Content-Type"], resp.read()
+
+
+class TestMetricsServer:
+    def test_serves_exposition_bytes(self, aggregator):
+        with MetricsServer(aggregator.to_prometheus, port=0) as server:
+            host, port = server.address
+            status, ctype, body = _get(f"http://{host}:{port}/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert body.decode("utf-8") == aggregator.to_prometheus()
+        assert body.endswith(b"\n")
+
+    def test_root_path_serves_too(self, aggregator):
+        with MetricsServer(aggregator.to_prometheus, port=0) as server:
+            host, port = server.address
+            status, _, body = _get(f"http://{host}:{port}/")
+        assert status == 200 and body
+
+    def test_unknown_path_is_404(self, aggregator):
+        with MetricsServer(aggregator.to_prometheus, port=0) as server:
+            host, port = server.address
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://{host}:{port}/healthz")
+            assert err.value.code == 404
+
+    def test_render_is_reinvoked_per_scrape(self, aggregator):
+        """A long-lived process can serve live aggregates."""
+        with serve_metrics(aggregator.to_prometheus, port=0) as server:
+            host, port = server.address
+            url = f"http://{host}:{port}/metrics"
+            _, _, before = _get(url)
+            aggregator.observe({"kind": "event.arrival", "t": 2.0,
+                                "workflow": "Type2", "request_id": 1})
+            _, _, after = _get(url)
+        assert before != after
+        assert b'workflow="Type2"' in after
+
+    def test_stop_releases_port(self, aggregator):
+        server = MetricsServer(aggregator.to_prometheus, port=0).start()
+        host, port = server.address
+        server.stop()
+        with pytest.raises(Exception):
+            _get(f"http://{host}:{port}/metrics")
