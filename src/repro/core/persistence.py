@@ -6,16 +6,18 @@ A saved agent directory contains:
 - ``dataset.npz`` — the interaction dataset D,
 - ``environment_model.npz`` + ``environment_model_norm.npz`` — f̂_Φ,
 - ``actor.npz`` / ``critic.npz`` (+ ``*_target.npz``) — the DDPG networks,
+- ``replay.npz`` — the DDPG replay buffer (contents, cursor, and
+  wraparound state, restored bit-exactly),
 - ``results.json`` — per-iteration training diagnostics.
 
 Loading reconstructs a fully functional agent bound to a caller-provided
 environment (the environment itself — a live simulation — is not
 serialised; bind to any system with matching dimensions).
 
-Known limitation: optimiser state (Adam moments) and the replay buffer are
-not persisted — a loaded agent's *policy decisions* are bit-identical, and
-continued training works, but resumes with fresh optimiser state and an
-empty replay buffer.
+Known limitation: optimiser state (Adam moments) is not persisted — a
+loaded agent's *policy decisions* are bit-identical and continued
+training works against the restored replay buffer, but gradient steps
+resume with fresh Adam moments.
 """
 
 from __future__ import annotations
@@ -76,6 +78,7 @@ def save_agent(directory: Union[str, Path], agent: MirasAgent) -> Path:
     save_mlp(directory / "actor_target", agent.ddpg.actor.target_network)
     save_mlp(directory / "critic", agent.ddpg.critic.network)
     save_mlp(directory / "critic_target", agent.ddpg.critic.target_network)
+    np.savez(directory / "replay.npz", **agent.ddpg.replay.state_dict())
 
     (directory / "results.json").write_text(
         json.dumps([dataclasses.asdict(r) for r in agent.results], indent=2)
@@ -127,6 +130,13 @@ def load_agent(
     agent.ddpg.critic.target_network = load_mlp(
         directory / "critic_target.npz"
     )
+
+    replay_path = directory / "replay.npz"
+    if replay_path.exists():
+        with np.load(replay_path) as archive:
+            agent.ddpg.replay.load_state_dict(
+                {key: archive[key] for key in archive.files}
+            )
 
     results_path = directory / "results.json"
     if results_path.exists():

@@ -26,14 +26,15 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
-from numpy.random import SeedSequence
 
 from repro.eval.experiments import EXPERIMENTS
+from repro.utils.rng import derive_stream_seed
 
 __all__ = [
     "ExperimentCell",
@@ -101,14 +102,12 @@ class ExperimentCell:
 def derive_cell_seed(root_seed: int, label: str) -> int:
     """Deterministic per-cell seed keyed by (root seed, cell label).
 
-    Uses a ``SeedSequence`` over the root seed plus the label's bytes —
-    no ``hash()`` (randomised per process) and no dependence on cell
-    order, so any scheduling of cells over workers derives the same seed.
+    Delegates to :func:`repro.utils.rng.derive_stream_seed` — the shared
+    label-keyed derivation primitive (no ``hash()``, no dependence on
+    cell order), so any scheduling of cells over workers derives the
+    same seed.
     """
-    if root_seed < 0:
-        raise ValueError(f"root_seed must be >= 0, got {root_seed}")
-    entropy = (root_seed, *label.encode("utf-8"))
-    return int(SeedSequence(entropy).generate_state(1, dtype=np.uint32)[0])
+    return derive_stream_seed(root_seed, label)
 
 
 def to_jsonable(obj):
@@ -202,16 +201,20 @@ def run_cells(
     """Run every cell; returns ``{label: payload}`` in input-cell order.
 
     ``workers=1`` (or a single cell) runs in-process; larger counts fan
-    out over a ``ProcessPoolExecutor``.  Both paths execute the same
-    ``_execute_cell`` function with the same derived seeds, so the
-    returned mapping is identical regardless of worker count.
+    out over a ``ProcessPoolExecutor``; ``workers=0`` auto-detects
+    ``os.cpu_count()`` (falling back to 1 when the count is unknown).
+    All paths execute the same ``_execute_cell`` function with the same
+    derived seeds, so the returned mapping is identical regardless of
+    worker count.
 
     ``telemetry_dir`` switches on fleet telemetry: per-cell trace and
     metrics capture in the workers, then a sorted-label merge in the
     parent (``fleet_metrics.json``/``.prom`` + ``fleet_manifest.json``).
     """
-    if workers <= 0:
-        raise ValueError(f"workers must be positive, got {workers}")
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
     labels = [cell.label for cell in cells]
     if len(set(labels)) != len(labels):
         raise ValueError("duplicate cell labels in the grid")

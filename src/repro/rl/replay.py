@@ -158,6 +158,73 @@ class ReplayBuffer:
         """States only — used for parameter-noise distance adaptation."""
         return self.sample(batch_size, rng)["states"]
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Checkpointable snapshot: contents plus ring-buffer state.
+
+        Captures the *physical* first ``size`` rows (for a full buffer
+        that is the whole ring, mid-wraparound cursor included), so
+        :meth:`load_state_dict` restores a buffer whose future eviction
+        order, sampling population, and ``total_added`` are bit-exact —
+        the warm-restart contract of ``repro.core.persistence``.  Rows
+        beyond ``size`` are never sampled and never read before being
+        overwritten, so they need not be saved.
+        """
+        return {
+            "states": self._states[: self._size].copy(),
+            "actions": self._actions[: self._size].copy(),
+            "rewards": self._rewards[: self._size].copy(),
+            "next_states": self._next_states[: self._size].copy(),
+            "cursor": np.int64(self._cursor),
+            "size": np.int64(self._size),
+            "total_added": np.int64(self.total_added),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-exactly."""
+        size = int(state["size"])
+        cursor = int(state["cursor"])
+        if not 0 <= size <= self.capacity:
+            raise ValueError(
+                f"snapshot size {size} exceeds capacity {self.capacity}"
+            )
+        if not 0 <= cursor < self.capacity or (
+            size < self.capacity and cursor != size
+        ):
+            raise ValueError(
+                f"snapshot cursor {cursor} inconsistent with size {size} "
+                f"and capacity {self.capacity}"
+            )
+        states = np.asarray(state["states"], dtype=np.float64)
+        actions = np.asarray(state["actions"], dtype=np.float64)
+        rewards = np.asarray(state["rewards"], dtype=np.float64)
+        next_states = np.asarray(state["next_states"], dtype=np.float64)
+        if states.shape != (size, self.state_dim):
+            raise ValueError(
+                f"snapshot states shape {states.shape} != "
+                f"({size}, {self.state_dim})"
+            )
+        if actions.shape != (size, self.action_dim):
+            raise ValueError(
+                f"snapshot actions shape {actions.shape} != "
+                f"({size}, {self.action_dim})"
+            )
+        if rewards.shape != (size, 1):
+            raise ValueError(
+                f"snapshot rewards shape {rewards.shape} != ({size}, 1)"
+            )
+        if next_states.shape != (size, self.state_dim):
+            raise ValueError(
+                f"snapshot next_states shape {next_states.shape} != "
+                f"({size}, {self.state_dim})"
+            )
+        self._states[:size] = states
+        self._actions[:size] = actions
+        self._rewards[:size] = rewards
+        self._next_states[:size] = next_states
+        self._size = size
+        self._cursor = cursor
+        self.total_added = int(state["total_added"])
+
     def clear(self) -> None:
         self._size = 0
         self._cursor = 0

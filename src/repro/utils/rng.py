@@ -29,6 +29,7 @@ __all__ = [
     "RngStream",
     "spawn_rngs",
     "fallback_stream",
+    "derive_stream_seed",
     "ReproducibilityWarning",
 ]
 
@@ -112,6 +113,23 @@ def spawn_rngs(seed: int, names: Iterable[str]) -> Dict[str, RngStream]:
     return {
         name: RngStream(name, child) for name, child in zip(names_list, children)
     }
+
+
+def derive_stream_seed(root_seed: int, label: str) -> int:
+    """Deterministic seed keyed by (root seed, label) — and nothing else.
+
+    Uses a ``SeedSequence`` over the root seed plus the label's bytes: no
+    ``hash()`` (randomised per process) and no dependence on derivation
+    *order*, so any scheduling of labelled work items over workers —
+    serial, process pools, interleaved — derives the same seed for the
+    same item.  This is the primitive behind the parallel experiment
+    runner's per-cell seeds and the distributed collector's per-episode
+    streams.
+    """
+    if root_seed < 0:
+        raise ValueError(f"root_seed must be >= 0, got {root_seed}")
+    entropy = (root_seed, *label.encode("utf-8"))
+    return int(np.random.SeedSequence(entropy).generate_state(1, dtype=np.uint32)[0])
 
 
 def fallback_stream(name: str) -> RngStream:

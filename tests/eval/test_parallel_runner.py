@@ -117,8 +117,31 @@ class TestRunCells:
             run_cells(cells)
 
     def test_invalid_workers_rejected(self):
-        with pytest.raises(ValueError):
-            run_cells(_fast_cells(1), workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            run_cells(_fast_cells(1), workers=-1)
+
+    def test_workers_zero_auto_detects_cpu_count(self, monkeypatch):
+        """``workers=0`` resolves to ``os.cpu_count()`` (1 when unknown)."""
+        import os
+
+        import repro.eval.parallel as parallel_mod
+
+        calls = []
+        real_cpu_count = os.cpu_count
+
+        def counting_cpu_count():
+            calls.append(1)
+            return real_cpu_count()
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", counting_cpu_count)
+        auto = run_cells(_fast_cells(1), root_seed=0, workers=0)
+        assert calls, "workers=0 must consult os.cpu_count()"
+        assert auto == run_cells(_fast_cells(1), root_seed=0, workers=1)
+
+        # Unknown CPU count (cpu_count() -> None) falls back to 1 worker.
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: None)
+        fallback = run_cells(_fast_cells(1), root_seed=0, workers=0)
+        assert fallback == auto
 
     def test_parallel_json_byte_identical_to_serial(self, tmp_path):
         """The tentpole determinism pin: workers ∈ {1, 4} agree bytewise."""
